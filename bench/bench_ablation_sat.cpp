@@ -1,0 +1,137 @@
+// Ablation A3 (DESIGN.md): WalkSAT (the paper's solver choice [30])
+// against the complete DPLL solver, both on the insertion encodings the
+// view-update translation produces (tiny, Boolean) and on random 3-SAT
+// near the satisfiability threshold (where local search shines).
+//
+// Shape to check: on translation-sized encodings both are instant; on
+// hard random instances WalkSAT degrades gracefully while DPLL blows up
+// exponentially — the reason the paper reaches for local search.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/sat/dpll.h"
+#include "src/sat/walksat.h"
+
+namespace xvu {
+namespace bench {
+namespace {
+
+Cnf Random3Sat(int nv, double ratio, uint64_t seed) {
+  Rng rng(seed);
+  Cnf cnf;
+  for (int i = 0; i < nv; ++i) cnf.NewVar();
+  int nc = static_cast<int>(ratio * nv);
+  for (int c = 0; c < nc; ++c) {
+    std::vector<Lit> clause;
+    for (int k = 0; k < 3; ++k) {
+      int32_t v = 1 + static_cast<int32_t>(rng.Below(
+                          static_cast<uint64_t>(nv)));
+      clause.push_back(rng.Chance(0.5) ? v : -v);
+    }
+    cnf.AddClause(std::move(clause));
+  }
+  return cnf;
+}
+
+void BM_WalkSatRandom(benchmark::State& state) {
+  int nv = static_cast<int>(state.range(0));
+  uint64_t seed = 3000;
+  size_t solved = 0, total = 0;
+  for (auto _ : state) {
+    Cnf cnf = Random3Sat(nv, 4.0, seed++);
+    SatResult r = SolveWalkSat(cnf);
+    if (r.kind == SatResult::Kind::kSat) ++solved;
+    ++total;
+  }
+  state.counters["solved_frac"] =
+      total == 0 ? 0 : static_cast<double>(solved) / static_cast<double>(total);
+}
+
+void BM_DpllRandom(benchmark::State& state) {
+  int nv = static_cast<int>(state.range(0));
+  uint64_t seed = 3000;
+  size_t sat = 0, total = 0;
+  for (auto _ : state) {
+    Cnf cnf = Random3Sat(nv, 4.0, seed++);
+    SatResult r = SolveDpll(cnf);
+    if (r.kind == SatResult::Kind::kSat) ++sat;
+    ++total;
+  }
+  state.counters["sat_frac"] =
+      total == 0 ? 0 : static_cast<double>(sat) / static_cast<double>(total);
+}
+
+/// End-to-end: buddy insertions (Example 8 gadget) translated with
+/// WalkSAT vs. DPLL as the solver.
+void BM_BuddyInsertTranslation(benchmark::State& state, bool walksat) {
+  SyntheticSpec spec;
+  spec.num_c = 2000;
+  spec.k_coverage = 0.0;
+  spec.g_uniform_prob = 0.8;
+  spec.seed = 99;
+  auto db = MakeSyntheticDatabase(spec);
+  if (!db.ok()) {
+    state.SkipWithError("dataset");
+    return;
+  }
+  auto atg = MakeSyntheticAtg(*db);
+  UpdateSystem::Options opts;
+  opts.insert.use_walksat = walksat;
+  opts.insert.dpll_fallback = false;
+  auto sys = UpdateSystem::Create(std::move(*atg), std::move(*db), opts);
+  if (!sys.ok()) {
+    state.SkipWithError("publish");
+    return;
+  }
+  int64_t fresh_g = 10000000;
+  int64_t parent = 1;
+  size_t accepted = 0, total = 0;
+  for (auto _ : state) {
+    std::string stmt = "insert B(" + std::to_string(++fresh_g) +
+                       ") into //C[cid=\"" + std::to_string(++parent) +
+                       "\"]/buddies";
+    Status st = (*sys)->ApplyStatement(stmt);
+    if (st.ok()) ++accepted;
+    ++total;
+    if (parent > 1900) parent = 1;
+  }
+  state.counters["accept_frac"] =
+      total == 0 ? 0
+                 : static_cast<double>(accepted) / static_cast<double>(total);
+}
+
+void RegisterAll() {
+  for (int nv : {20, 40, 60}) {
+    benchmark::RegisterBenchmark("AblationA3_WalkSat_random3sat",
+                                 BM_WalkSatRandom)
+        ->Arg(nv)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(5);
+    benchmark::RegisterBenchmark("AblationA3_DPLL_random3sat", BM_DpllRandom)
+        ->Arg(nv)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(5);
+  }
+  benchmark::RegisterBenchmark("AblationA3_translate_walksat",
+                               BM_BuddyInsertTranslation, true)
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(20);
+  benchmark::RegisterBenchmark("AblationA3_translate_dpll",
+                               BM_BuddyInsertTranslation, false)
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(20);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace xvu
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  xvu::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

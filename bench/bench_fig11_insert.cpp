@@ -1,0 +1,92 @@
+// Reproduces Fig.11(d)-(f): insertion performance for workload classes
+// W1/W2/W3 as a function of the database size |C|, with a fixed inserted
+// subtree size (new leaf children / new buddies).
+//
+// Counters follow the same breakdown as the deletion bench; `sat_used`
+// counts operations whose translation needed the SAT encoding, and
+// `accepted`/`rejected` expose the solver success rate (the paper reports
+// 78%, tuned here by SyntheticSpec::g_uniform_prob).
+//
+// Shapes to check: near-linear scaling in |C|; translation (coding) time
+// roughly independent of |C| (the encoding size depends on |∆V| and the
+// rules only).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace xvu {
+namespace bench {
+namespace {
+
+void BM_Insert(benchmark::State& state, WorkloadClass cls) {
+  size_t n = static_cast<size_t>(state.range(0));
+  UpdateSystem* sys = SystemFor(n);
+  uint64_t seed = 900 + static_cast<uint64_t>(state.range(0));
+  std::vector<std::string> stmts;
+  size_t next = 0;
+  double xpath = 0, translate = 0, maintain = 0;
+  size_t accepted = 0, rejected = 0, sat_used = 0;
+  for (auto _ : state) {
+    if (next >= stmts.size()) {
+      state.PauseTiming();
+      auto w = MakeInsertionWorkload(cls, sys->database(), 64, seed++);
+      if (!w.ok()) {
+        state.SkipWithError(w.status().ToString().c_str());
+        break;
+      }
+      stmts = std::move(*w);
+      next = 0;
+      state.ResumeTiming();
+    }
+    Status st = sys->ApplyStatement(stmts[next++]);
+    const UpdateStats& us = sys->last_stats();
+    xpath += us.xpath_seconds;
+    translate += us.translate_seconds;
+    maintain += us.maintain_seconds;
+    if (us.used_sat) ++sat_used;
+    if (st.ok()) {
+      ++accepted;
+    } else {
+      ++rejected;
+    }
+  }
+  double iters = static_cast<double>(state.iterations());
+  if (iters > 0) {
+    state.counters["xpath_ms"] = xpath * 1e3 / iters;
+    state.counters["translate_ms"] = translate * 1e3 / iters;
+    state.counters["maintain_ms"] = maintain * 1e3 / iters;
+    state.counters["accepted"] = static_cast<double>(accepted);
+    state.counters["rejected"] = static_cast<double>(rejected);
+    state.counters["sat_used"] = static_cast<double>(sat_used);
+  }
+}
+
+void RegisterAll() {
+  struct {
+    const char* name;
+    WorkloadClass cls;
+  } classes[] = {{"Fig11d_W1_insert", WorkloadClass::kW1},
+                 {"Fig11e_W2_insert", WorkloadClass::kW2},
+                 {"Fig11f_W3_insert", WorkloadClass::kW3}};
+  for (const auto& c : classes) {
+    for (size_t n : Sizes()) {
+      benchmark::RegisterBenchmark(c.name, BM_Insert, c.cls)
+          ->Arg(static_cast<int64_t>(n))
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(10);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace xvu
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  xvu::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Reproduces Fig.11(g): runtime as a function of the view-update size —
+// |r[[p]]| for insertions, |Ep(r)| for deletions — at a fixed database
+// size, with |ST(A,t)| kept a single C subtree.
+//
+// The sweep uses payload-disjunction paths //C[payload=p1 or ...]/sub,
+// whose selectivity grows with the number of disjuncts.
+//
+// Shapes to check: Xinsert/Xdelete (translate) grow mildly with the
+// selected-set size; the relational deletion translation grows fastest
+// (more source-tuple checks); maintenance stays roughly flat for
+// insertions (fixed subtree).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace xvu {
+namespace bench {
+namespace {
+
+size_t FixedSize() {
+  size_t n = 20000;
+  if (const char* env = std::getenv("XVU_BENCH_G_C")) {
+    n = static_cast<size_t>(std::atoll(env));
+  }
+  return n;
+}
+
+void BM_InsertFanout(benchmark::State& state) {
+  size_t n = FixedSize();
+  UpdateSystem* sys = SystemFor(n);
+  size_t k = static_cast<size_t>(state.range(0));
+  int64_t fresh = 5000000 + state.range(0) * 1000;
+  double xpath = 0, translate = 0, maintain = 0;
+  size_t selected = 0;
+  for (auto _ : state) {
+    std::string stmt = "insert C(" + std::to_string(++fresh) + ", 0) into " +
+                       PayloadFanoutPath(1, k);
+    Status st = sys->ApplyStatement(stmt);
+    const UpdateStats& us = sys->last_stats();
+    xpath += us.xpath_seconds;
+    translate += us.translate_seconds;
+    maintain += us.maintain_seconds;
+    selected = us.selected;
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  double iters = static_cast<double>(state.iterations());
+  if (iters > 0) {
+    state.counters["r_p"] = static_cast<double>(selected);
+    state.counters["xpath_ms"] = xpath * 1e3 / iters;
+    state.counters["translate_ms"] = translate * 1e3 / iters;
+    state.counters["maintain_ms"] = maintain * 1e3 / iters;
+  }
+}
+
+void BM_DeleteFanout(benchmark::State& state) {
+  size_t n = FixedSize();
+  size_t k = static_cast<size_t>(state.range(0));
+  double xpath = 0, translate = 0, maintain = 0;
+  size_t ep = 0;
+  size_t iters = 0;
+  for (auto _ : state) {
+    // Deletions are destructive at this fan-out: use a fresh system per
+    // iteration, timed via the per-phase stats only.
+    state.PauseTiming();
+    UpdateSystem* sys = FreshSystemFor(n, 7000 + k * 10 + iters);
+    state.ResumeTiming();
+    std::string stmt = "delete " + PayloadFanoutPath(1, k) + "/C";
+    Status st = sys->ApplyStatement(stmt);
+    const UpdateStats& us = sys->last_stats();
+    xpath += us.xpath_seconds;
+    translate += us.translate_seconds;
+    maintain += us.maintain_seconds;
+    ep = us.parent_edges;
+    ++iters;
+    if (!st.ok() && !st.IsRejected()) {
+      state.SkipWithError(st.ToString().c_str());
+    }
+  }
+  if (iters > 0) {
+    state.counters["Ep_r"] = static_cast<double>(ep);
+    state.counters["xpath_ms"] = xpath * 1e3 / iters;
+    state.counters["translate_ms"] = translate * 1e3 / iters;
+    state.counters["maintain_ms"] = maintain * 1e3 / iters;
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace xvu
+
+BENCHMARK(xvu::bench::BM_InsertFanout)
+    ->RangeMultiplier(2)
+    ->Range(1, 32)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3)
+    ->Name("Fig11g_insert_vary_rp");
+BENCHMARK(xvu::bench::BM_DeleteFanout)
+    ->RangeMultiplier(2)
+    ->Range(1, 32)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2)
+    ->Name("Fig11g_delete_vary_Ep");
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+#ifndef XVU_BENCH_BENCH_UTIL_H_
+#define XVU_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/system.h"
+#include "src/workload/synthetic.h"
+#include "src/workload/workloads.h"
+
+namespace xvu {
+namespace bench {
+
+/// Database sizes |C| swept by the benchmarks. The paper uses 1K..1M; the
+/// default here stops at 50K to keep a full bench run in minutes — set
+/// XVU_BENCH_MAX_C=1000000 to reproduce the paper's top sizes.
+inline std::vector<size_t> Sizes() {
+  size_t max_c = 50000;
+  if (const char* env = std::getenv("XVU_BENCH_MAX_C")) {
+    max_c = static_cast<size_t>(std::atoll(env));
+  }
+  std::vector<size_t> out;
+  for (size_t n : {size_t{1000}, size_t{10000}, size_t{50000},
+                   size_t{100000}, size_t{1000000}}) {
+    if (n <= max_c) out.push_back(n);
+  }
+  return out;
+}
+
+inline SyntheticSpec SpecFor(size_t n) {
+  SyntheticSpec spec;
+  spec.num_c = n;
+  spec.payload_domain = 100;
+  spec.seed = 7;
+  return spec;
+}
+
+/// Cached published systems, one per size (publishing 50K+ takes a while;
+/// benchmarks share the instance and mutate it mildly).
+inline UpdateSystem* SystemFor(size_t n) {
+  static std::map<size_t, std::unique_ptr<UpdateSystem>> cache;
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second.get();
+  auto db = MakeSyntheticDatabase(SpecFor(n));
+  if (!db.ok()) {
+    std::fprintf(stderr, "dataset %zu: %s\n", n,
+                 db.status().ToString().c_str());
+    std::abort();
+  }
+  auto atg = MakeSyntheticAtg(*db);
+  if (!atg.ok()) std::abort();
+  auto sys = UpdateSystem::Create(std::move(*atg), std::move(*db));
+  if (!sys.ok()) {
+    std::fprintf(stderr, "publish %zu: %s\n", n,
+                 sys.status().ToString().c_str());
+    std::abort();
+  }
+  return cache.emplace(n, std::move(*sys)).first->second.get();
+}
+
+/// Rebuilds the cached system for `n` from scratch (after destructive
+/// sweeps).
+inline UpdateSystem* FreshSystemFor(size_t n, uint64_t seed) {
+  SyntheticSpec spec = SpecFor(n);
+  spec.seed = seed;
+  auto db = MakeSyntheticDatabase(spec);
+  if (!db.ok()) std::abort();
+  auto atg = MakeSyntheticAtg(*db);
+  if (!atg.ok()) std::abort();
+  auto sys = UpdateSystem::Create(std::move(*atg), std::move(*db));
+  if (!sys.ok()) std::abort();
+  static std::vector<std::unique_ptr<UpdateSystem>> keep_alive;
+  keep_alive.push_back(std::move(*sys));
+  return keep_alive.back().get();
+}
+
+}  // namespace bench
+}  // namespace xvu
+
+#endif  // XVU_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,197 @@
+// xvu_shell: an interactive (or scripted) console over an XML view of the
+// registrar database, driven entirely by the textual interfaces — the ATG
+// text format, XPath queries and update statements.
+//
+// Commands (one per line; stdin or piped script):
+//   query <xpath>            evaluate an XPath over the view
+//   insert <type>(<vals>) into <xpath>
+//   delete <xpath>           apply an XML view update
+//   sql insert <table> (<vals>)   \  raw relational updates, propagated
+//   sql delete <table> (<key>)    /  incrementally into the view
+//   xml [n]                  print the view (expanded tree, n node cap)
+//   atg                      print the ATG definition (text format)
+//   stats                    DAG / M / L sizes + last-update timings
+//   check                    verify view == σ(I) republished
+//   help / quit
+//
+// Try:  printf 'query //student\nxml 40\nquit\n' | ./build/examples/xvu_shell
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/atg/text_format.h"
+#include "src/common/str_util.h"
+#include "src/core/system.h"
+#include "src/workload/registrar.h"
+
+using namespace xvu;  // NOLINT — example brevity
+
+namespace {
+
+/// Parses "table (v1, v2, ...)" into a typed row against the schema.
+Result<std::pair<std::string, Tuple>> ParseSqlRow(const Database& db,
+                                                  const std::string& rest) {
+  std::istringstream in(rest);
+  std::string table;
+  in >> table;
+  const Table* t = db.GetTable(table);
+  if (t == nullptr) return Status::NotFound("table " + table);
+  std::string vals;
+  std::getline(in, vals);
+  auto lp = vals.find('(');
+  auto rp = vals.rfind(')');
+  if (lp == std::string::npos || rp == std::string::npos || rp < lp) {
+    return Status::InvalidArgument("expected (v1, v2, ...)");
+  }
+  std::vector<std::string> parts = Split(vals.substr(lp + 1, rp - lp - 1),
+                                         ',');
+  const Schema& schema = t->schema();
+  if (parts.size() != schema.arity()) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(schema.arity()) + " values for " +
+        schema.ToString());
+  }
+  Tuple row;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    std::string v = parts[i];
+    // Trim blanks and optional quotes.
+    while (!v.empty() && std::isspace(static_cast<unsigned char>(v.front())))
+      v.erase(v.begin());
+    while (!v.empty() && std::isspace(static_cast<unsigned char>(v.back())))
+      v.pop_back();
+    if (v.size() >= 2 && (v.front() == '"' || v.front() == '\'')) {
+      v = v.substr(1, v.size() - 2);
+    }
+    Value val = ParseValueAs(v, schema.columns()[i].type);
+    if (val.is_null()) {
+      return Status::InvalidArgument("cannot parse '" + v + "' as " +
+                                     ValueTypeName(schema.columns()[i].type));
+    }
+    row.push_back(std::move(val));
+  }
+  return std::make_pair(table, row);
+}
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  query <xpath>                      select nodes\n"
+      "  insert <type>(<vals>) into <xpath> XML view insertion\n"
+      "  delete <xpath>                     XML view deletion\n"
+      "  sql insert <table> (<vals>)        base insert, propagated\n"
+      "  sql delete <table> (<full row>)    base delete, propagated\n"
+      "  xml [n] | atg | stats | check | help | quit\n");
+}
+
+}  // namespace
+
+int main() {
+  auto db = MakeRegistrarDatabase();
+  if (!db.ok()) return 1;
+  if (!LoadRegistrarSample(&*db).ok()) return 1;
+  auto atg = MakeRegistrarAtg(*db);
+  if (!atg.ok()) return 1;
+  auto sys_or = UpdateSystem::Create(std::move(*atg), std::move(*db));
+  if (!sys_or.ok()) {
+    std::printf("publish failed: %s\n", sys_or.status().ToString().c_str());
+    return 1;
+  }
+  UpdateSystem& sys = **sys_or;
+  std::printf("xvu shell — registrar view published (%zu DAG nodes). "
+              "'help' lists commands.\n",
+              sys.dag().num_nodes());
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      PrintHelp();
+      continue;
+    }
+    if (cmd == "xml") {
+      size_t cap = 200;
+      in >> cap;
+      std::printf("%s", sys.dag().ToXml(cap).c_str());
+      continue;
+    }
+    if (cmd == "atg") {
+      std::printf("%s", AtgToText(sys.atg(), sys.database()).c_str());
+      continue;
+    }
+    if (cmd == "stats") {
+      const UpdateStats& st = sys.last_stats();
+      std::printf(
+          "DAG: %zu nodes, %zu edges; tree: %zu nodes; |M|=%zu, |L|=%zu\n"
+          "last update: xpath %.2fms, translate %.2fms, maintain %.2fms; "
+          "|r[[p]]|=%zu |Ep|=%zu |∆V|=%zu |∆R|=%zu side-effects=%s\n",
+          sys.dag().num_nodes(), sys.dag().num_edges(),
+          sys.dag().UncompressedTreeSize(), sys.reachability().size(),
+          sys.topo().size(), st.xpath_seconds * 1e3,
+          st.translate_seconds * 1e3, st.maintain_seconds * 1e3,
+          st.selected, st.parent_edges, st.delta_v, st.delta_r,
+          st.had_side_effects ? "yes" : "no");
+      continue;
+    }
+    if (cmd == "check") {
+      auto fresh = sys.Republish();
+      bool ok = fresh.ok() &&
+                fresh->CanonicalEdges() == sys.dag().CanonicalEdges();
+      std::printf("view == σ(I): %s\n", ok ? "yes" : "NO");
+      continue;
+    }
+    if (cmd == "query") {
+      std::string xpath;
+      std::getline(in, xpath);
+      auto r = sys.Query(xpath);
+      if (!r.ok()) {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%zu node(s)%s\n", r->selected.size(),
+                  r->has_side_effects()
+                      ? " (an update here would have side effects)"
+                      : "");
+      size_t shown = 0;
+      for (NodeId v : r->selected) {
+        if (++shown > 10) {
+          std::printf("  ...\n");
+          break;
+        }
+        std::printf("  <%s> %s\n", sys.dag().node(v).type.c_str(),
+                    TupleToString(sys.dag().node(v).attr).c_str());
+      }
+      continue;
+    }
+    if (cmd == "insert" || cmd == "delete") {
+      Status st = sys.ApplyStatement(line);
+      std::printf("%s\n", st.ToString().c_str());
+      continue;
+    }
+    if (cmd == "sql") {
+      std::string op;
+      in >> op;
+      std::string rest;
+      std::getline(in, rest);
+      auto parsed = ParseSqlRow(sys.database(), rest);
+      if (!parsed.ok()) {
+        std::printf("error: %s\n", parsed.status().ToString().c_str());
+        continue;
+      }
+      RelationalUpdate u;
+      u.ops.push_back(TableOp{op == "insert" ? TableOp::Kind::kInsert
+                                             : TableOp::Kind::kDelete,
+                              parsed->first, parsed->second});
+      Status st = sys.ApplyRelationalUpdate(u);
+      std::printf("%s\n", st.ToString().c_str());
+      continue;
+    }
+    std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
+  }
+  return 0;
+}

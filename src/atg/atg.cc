@@ -1,0 +1,146 @@
+#include "src/atg/atg.h"
+
+namespace xvu {
+
+Status Atg::SetAttrSchema(const std::string& type,
+                          std::vector<Column> fields) {
+  attr_schemas_[type] = std::move(fields);
+  return Status::OK();
+}
+
+const std::vector<Column>* Atg::AttrSchema(const std::string& type) const {
+  auto it = attr_schemas_.find(type);
+  return it == attr_schemas_.end() ? nullptr : &it->second;
+}
+
+Status Atg::SetStarRule(const std::string& parent, SpjQuery rule) {
+  const Production* p = dtd_.GetProduction(parent);
+  if (p == nullptr || p->kind != ContentKind::kStar) {
+    return Status::InvalidArgument("type " + parent +
+                                   " has no star production");
+  }
+  star_rules_.insert_or_assign(parent, std::move(rule));
+  return Status::OK();
+}
+
+const SpjQuery* Atg::StarRule(const std::string& parent) const {
+  auto it = star_rules_.find(parent);
+  return it == star_rules_.end() ? nullptr : &it->second;
+}
+
+Status Atg::SetSequenceProjection(const std::string& parent,
+                                  const std::string& child,
+                                  std::vector<size_t> parent_attr_indices) {
+  const Production* p = dtd_.GetProduction(parent);
+  if (p == nullptr || p->kind != ContentKind::kSequence) {
+    return Status::InvalidArgument("type " + parent +
+                                   " has no sequence production");
+  }
+  seq_projections_[{parent, child}] = std::move(parent_attr_indices);
+  return Status::OK();
+}
+
+const std::vector<size_t>* Atg::SequenceProjection(
+    const std::string& parent, const std::string& child) const {
+  auto it = seq_projections_.find({parent, child});
+  return it == seq_projections_.end() ? nullptr : &it->second;
+}
+
+Status Atg::SetAlternationRule(const std::string& parent,
+                               AlternationRule rule) {
+  const Production* p = dtd_.GetProduction(parent);
+  if (p == nullptr || p->kind != ContentKind::kAlternation) {
+    return Status::InvalidArgument("type " + parent +
+                                   " has no alternation production");
+  }
+  alternation_rules_.insert_or_assign(parent, std::move(rule));
+  return Status::OK();
+}
+
+const Atg::AlternationRule* Atg::GetAlternationRule(
+    const std::string& parent) const {
+  auto it = alternation_rules_.find(parent);
+  return it == alternation_rules_.end() ? nullptr : &it->second;
+}
+
+Status Atg::Validate(const Database& catalog) const {
+  XVU_RETURN_NOT_OK(dtd_.Validate());
+  for (const std::string& type : dtd_.Types()) {
+    const Production* prod = dtd_.GetProduction(type);
+    const std::vector<Column>* attrs = AttrSchema(type);
+    if (attrs == nullptr && type != dtd_.root()) {
+      return Status::InvalidArgument("type " + type +
+                                     " has no attribute schema");
+    }
+    size_t parent_arity = attrs == nullptr ? 0 : attrs->size();
+    switch (prod->kind) {
+      case ContentKind::kPcdata:
+      case ContentKind::kEmpty:
+        break;
+      case ContentKind::kStar: {
+        const SpjQuery* rule = StarRule(type);
+        if (rule == nullptr) {
+          return Status::InvalidArgument("star production of " + type +
+                                         " has no rule query");
+        }
+        if (!rule->IsKeyPreserving(catalog)) {
+          return Status::InvalidArgument("rule query of " + type +
+                                         " is not key-preserving");
+        }
+        if (rule->num_params() > parent_arity) {
+          return Status::InvalidArgument(
+              "rule query of " + type + " uses " +
+              std::to_string(rule->num_params()) + " params but $" + type +
+              " has arity " + std::to_string(parent_arity));
+        }
+        const std::vector<Column>* child_attrs =
+            AttrSchema(prod->children[0]);
+        if (child_attrs == nullptr ||
+            rule->outputs().size() < child_attrs->size()) {
+          return Status::InvalidArgument(
+              "rule query of " + type +
+              " projects fewer columns than $" + prod->children[0]);
+        }
+        break;
+      }
+      case ContentKind::kSequence: {
+        for (const std::string& c : prod->children) {
+          const std::vector<size_t>* proj = SequenceProjection(type, c);
+          if (proj == nullptr) {
+            return Status::InvalidArgument("sequence child " + c + " of " +
+                                           type + " has no projection");
+          }
+          const std::vector<Column>* child_attrs = AttrSchema(c);
+          if (child_attrs == nullptr || proj->size() != child_attrs->size()) {
+            return Status::InvalidArgument("projection arity mismatch for " +
+                                           c + " under " + type);
+          }
+          for (size_t idx : *proj) {
+            if (idx >= parent_arity) {
+              return Status::InvalidArgument(
+                  "projection index out of range for " + c + " under " +
+                  type);
+            }
+          }
+        }
+        break;
+      }
+      case ContentKind::kAlternation: {
+        const AlternationRule* ar = GetAlternationRule(type);
+        if (ar == nullptr) {
+          return Status::InvalidArgument("alternation production of " + type +
+                                         " has no rule");
+        }
+        if (ar->projections.size() != prod->children.size()) {
+          return Status::InvalidArgument(
+              "alternation rule of " + type +
+              " must have one projection per branch");
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xvu

@@ -1,0 +1,85 @@
+#ifndef XVU_ATG_ATG_H_
+#define XVU_ATG_ATG_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/dtd/dtd.h"
+#include "src/relational/spj.h"
+
+namespace xvu {
+
+/// An Attribute Translation Grammar (Section 2.2): a mapping
+/// σ : R -> D from a relational schema to a (possibly recursive) DTD.
+///
+/// Per element type A the ATG defines a semantic attribute $A (a typed
+/// tuple). Per production it defines how children and their attributes are
+/// generated:
+///   - A -> B*          : an SPJ rule query, parameterized by $A's fields,
+///                        whose result rows are the $B values (one child
+///                        per row). The rule must be key-preserving; its
+///                        leading outputs are $B's fields, any further
+///                        outputs are the key columns added for key
+///                        preservation (Section 4.1).
+///   - A -> B1,...,Bn   : per child, a projection of $A's fields giving
+///                        $Bi (like "$cno = $course.cno" in Fig.2).
+///   - A -> B1+...+Bn   : a selector choosing the branch from $A, plus a
+///                        per-branch projection.
+///   - A -> pcdata      : leaf; the text is $A rendered.
+///   - A -> ε           : leaf without text.
+///
+/// The root's semantic attribute is the empty tuple.
+class Atg {
+ public:
+  struct AlternationRule {
+    /// Returns the branch index in [0, n) chosen for a given $A.
+    std::function<size_t(const Tuple&)> choose;
+    /// Per branch, indices of $A fields forming the child's attribute.
+    std::vector<std::vector<size_t>> projections;
+  };
+
+  Dtd& dtd() { return dtd_; }
+  const Dtd& dtd() const { return dtd_; }
+
+  /// Declares the semantic-attribute schema of `type`.
+  Status SetAttrSchema(const std::string& type, std::vector<Column> fields);
+  const std::vector<Column>* AttrSchema(const std::string& type) const;
+
+  /// Attaches the rule query to a star production parent -> B*.
+  /// The query must already be key-preserving (use
+  /// SpjQuery::WithKeyPreservation); its params bind to $parent's fields.
+  Status SetStarRule(const std::string& parent, SpjQuery rule);
+  const SpjQuery* StarRule(const std::string& parent) const;
+
+  /// Attaches the $child attribute projection for a sequence production.
+  Status SetSequenceProjection(const std::string& parent,
+                               const std::string& child,
+                               std::vector<size_t> parent_attr_indices);
+  const std::vector<size_t>* SequenceProjection(const std::string& parent,
+                                                const std::string& child)
+      const;
+
+  Status SetAlternationRule(const std::string& parent, AlternationRule rule);
+  const AlternationRule* GetAlternationRule(const std::string& parent) const;
+
+  /// Full consistency check against the base catalog: DTD valid; every
+  /// type has an attribute schema (root's may be implicit/empty); every
+  /// star production has a key-preserving rule whose leading outputs match
+  /// the child's attribute arity; sequence projections in range.
+  Status Validate(const Database& catalog) const;
+
+ private:
+  Dtd dtd_;
+  std::map<std::string, std::vector<Column>> attr_schemas_;
+  std::map<std::string, SpjQuery> star_rules_;
+  std::map<std::pair<std::string, std::string>, std::vector<size_t>>
+      seq_projections_;
+  std::map<std::string, AlternationRule> alternation_rules_;
+};
+
+}  // namespace xvu
+
+#endif  // XVU_ATG_ATG_H_

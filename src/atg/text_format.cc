@@ -1,0 +1,497 @@
+#include "src/atg/text_format.h"
+
+#include <cctype>
+#include <map>
+
+#include "src/common/str_util.h"
+
+namespace xvu {
+
+namespace {
+
+/// Shared token scanner for the DDL and the embedded SPJ mini-SQL.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& s) : s_(s) {}
+
+  void SkipSpaceAndComments() {
+    for (;;) {
+      while (pos_ < s_.size() &&
+             std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ < s_.size() && s_[pos_] == '#') {
+        while (pos_ < s_.size() && s_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      return;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpaceAndComments();
+    return pos_ >= s_.size();
+  }
+
+  bool Peek(char c) {
+    SkipSpaceAndComments();
+    return pos_ < s_.size() && s_[pos_] == c;
+  }
+
+  bool Accept(char c) {
+    if (Peek(c)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (Accept(c)) return Status::OK();
+    return Status::InvalidArgument(std::string("expected '") + c + "' at " +
+                                   Where());
+  }
+
+  /// Identifier or keyword: [A-Za-z_][A-Za-z0-9_]*.
+  Result<std::string> Ident() {
+    SkipSpaceAndComments();
+    size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isalnum(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected identifier at " + Where());
+    }
+    return s_.substr(start, pos_ - start);
+  }
+
+  /// Peeks the next identifier without consuming it.
+  std::string PeekIdent() {
+    size_t save = pos_;
+    auto id = Ident();
+    pos_ = save;
+    return id.ok() ? *id : "";
+  }
+
+  bool AcceptWord(const std::string& w) {
+    size_t save = pos_;
+    auto id = Ident();
+    if (id.ok() && *id == w) return true;
+    pos_ = save;
+    return false;
+  }
+
+  /// "alias.column" or "$field" or identifier or quoted/numeric literal.
+  Result<std::string> Token() {
+    SkipSpaceAndComments();
+    if (pos_ >= s_.size()) {
+      return Status::InvalidArgument("unexpected end of input");
+    }
+    char c = s_[pos_];
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++pos_;
+      std::string lit;
+      while (pos_ < s_.size() && s_[pos_] != quote) lit.push_back(s_[pos_++]);
+      if (pos_ >= s_.size()) {
+        return Status::InvalidArgument("unterminated literal at " + Where());
+      }
+      ++pos_;
+      return "\"" + lit;  // marker for "quoted"
+    }
+    std::string out;
+    if (c == '$') {
+      out.push_back(s_[pos_++]);
+    }
+    while (pos_ < s_.size()) {
+      char d = s_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(d)) || d == '_' ||
+          d == '.' || d == '-') {
+        out.push_back(d);
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (out.empty()) {
+      return Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "' at " + Where());
+    }
+    return out;
+  }
+
+  std::string Where() const {
+    size_t line = 1, col = 1;
+    for (size_t i = 0; i < pos_ && i < s_.size(); ++i) {
+      if (s_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    return "line " + std::to_string(line) + ":" + std::to_string(col);
+  }
+
+ private:
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+Result<ValueType> ParseType(const std::string& name) {
+  if (name == "int") return ValueType::kInt;
+  if (name == "string") return ValueType::kString;
+  if (name == "bool") return ValueType::kBool;
+  return Status::InvalidArgument("unknown attribute type " + name);
+}
+
+/// Parses the embedded SPJ query between { and }. `parent_attrs` resolves
+/// $field references to parameter indices.
+Result<SpjQuery> ParseRuleQuery(Scanner* sc, const Database& catalog,
+                                const std::vector<Column>& parent_attrs) {
+  XVU_RETURN_NOT_OK(sc->Expect('{'));
+  if (!sc->AcceptWord("select")) {
+    return Status::InvalidArgument("expected 'select' at " + sc->Where());
+  }
+  struct SelItem {
+    std::string col;
+    std::string name;
+  };
+  std::vector<SelItem> select;
+  for (;;) {
+    XVU_ASSIGN_OR_RETURN(std::string col, sc->Token());
+    if (!sc->AcceptWord("as")) {
+      return Status::InvalidArgument("expected 'as' in select list at " +
+                                     sc->Where());
+    }
+    XVU_ASSIGN_OR_RETURN(std::string name, sc->Ident());
+    select.push_back({col, name});
+    if (!sc->Accept(',')) break;
+  }
+  if (!sc->AcceptWord("from")) {
+    return Status::InvalidArgument("expected 'from' at " + sc->Where());
+  }
+  SpjQueryBuilder builder(&catalog);
+  for (;;) {
+    XVU_ASSIGN_OR_RETURN(std::string table, sc->Ident());
+    XVU_ASSIGN_OR_RETURN(std::string alias, sc->Ident());
+    builder.From(table, alias);
+    if (!sc->Accept(',')) break;
+  }
+  auto param_index = [&](const std::string& field) -> Result<size_t> {
+    for (size_t i = 0; i < parent_attrs.size(); ++i) {
+      if (parent_attrs[i].name == field) return i;
+    }
+    return Status::InvalidArgument("unknown parent attribute $" + field);
+  };
+  if (sc->AcceptWord("where")) {
+    for (;;) {
+      XVU_ASSIGN_OR_RETURN(std::string lhs, sc->Token());
+      XVU_RETURN_NOT_OK(sc->Expect('='));
+      XVU_ASSIGN_OR_RETURN(std::string rhs, sc->Token());
+      // Normalize so the column reference is on the left.
+      bool lhs_is_col =
+          lhs[0] != '$' && lhs[0] != '"' && lhs.find('.') != std::string::npos;
+      if (!lhs_is_col) std::swap(lhs, rhs);
+      if (lhs[0] == '$' || lhs[0] == '"' ||
+          lhs.find('.') == std::string::npos) {
+        return Status::InvalidArgument(
+            "conditions need at least one alias.column side at " +
+            sc->Where());
+      }
+      if (rhs[0] == '$') {
+        XVU_ASSIGN_OR_RETURN(size_t p, param_index(rhs.substr(1)));
+        builder.WhereParam(lhs, p);
+      } else if (rhs[0] == '"') {
+        builder.WhereConst(lhs, Value::Str(rhs.substr(1)));
+      } else if (rhs.find('.') != std::string::npos) {
+        builder.WhereEq(lhs, rhs);
+      } else if (rhs == "true" || rhs == "false") {
+        builder.WhereConst(lhs, Value::Bool(rhs == "true"));
+      } else {
+        // Bare token: integer literal.
+        Value v = ParseValueAs(rhs, ValueType::kInt);
+        if (v.is_null()) {
+          return Status::InvalidArgument("cannot parse literal '" + rhs +
+                                         "' at " + sc->Where());
+        }
+        builder.WhereConst(lhs, v);
+      }
+      if (!sc->AcceptWord("and")) break;
+    }
+  }
+  for (const SelItem& item : select) builder.Select(item.col, item.name);
+  XVU_RETURN_NOT_OK(sc->Expect('}'));
+  XVU_ASSIGN_OR_RETURN(SpjQuery q, builder.Build());
+  return q.WithKeyPreservation(catalog);
+}
+
+}  // namespace
+
+Result<Atg> ParseAtgText(const std::string& text, const Database& catalog) {
+  Scanner sc(text);
+  Atg atg;
+  // Sequence productions are resolved after all `type` declarations.
+  struct PendingSeq {
+    std::string parent;
+    std::vector<std::pair<std::string, std::vector<std::string>>> children;
+  };
+  std::vector<PendingSeq> pending_seqs;
+  struct PendingStar {
+    std::string parent;
+    std::string child;
+    size_t text_offset_unused = 0;
+    SpjQuery rule;
+  };
+  std::vector<PendingStar> pending_stars;
+
+  while (!sc.AtEnd()) {
+    XVU_ASSIGN_OR_RETURN(std::string kw, sc.Ident());
+    if (kw == "root") {
+      XVU_ASSIGN_OR_RETURN(std::string r, sc.Ident());
+      atg.dtd().SetRoot(r);
+      continue;
+    }
+    if (kw == "type") {
+      XVU_ASSIGN_OR_RETURN(std::string name, sc.Ident());
+      XVU_RETURN_NOT_OK(sc.Expect('('));
+      std::vector<Column> fields;
+      if (!sc.Accept(')')) {
+        for (;;) {
+          XVU_ASSIGN_OR_RETURN(std::string fname, sc.Ident());
+          XVU_RETURN_NOT_OK(sc.Expect(':'));
+          XVU_ASSIGN_OR_RETURN(std::string tname, sc.Ident());
+          XVU_ASSIGN_OR_RETURN(ValueType vt, ParseType(tname));
+          fields.push_back(Column{fname, vt});
+          if (!sc.Accept(',')) break;
+        }
+        XVU_RETURN_NOT_OK(sc.Expect(')'));
+      }
+      XVU_RETURN_NOT_OK(atg.SetAttrSchema(name, std::move(fields)));
+      continue;
+    }
+    if (kw == "element") {
+      XVU_ASSIGN_OR_RETURN(std::string name, sc.Ident());
+      XVU_RETURN_NOT_OK(sc.Expect('='));
+      std::string first = sc.PeekIdent();
+      if (first == "PCDATA") {
+        (void)sc.Ident();
+        XVU_RETURN_NOT_OK(atg.dtd().AddElement(name, Production::Pcdata()));
+        continue;
+      }
+      if (first == "EMPTY") {
+        (void)sc.Ident();
+        XVU_RETURN_NOT_OK(atg.dtd().AddElement(name, Production::Empty()));
+        continue;
+      }
+      XVU_ASSIGN_OR_RETURN(std::string child, sc.Ident());
+      if (sc.Accept('*')) {
+        // Star production with a rule query.
+        if (!sc.AcceptWord("from")) {
+          return Status::InvalidArgument("expected 'from' after " + name +
+                                         " = " + child + "* at " +
+                                         sc.Where());
+        }
+        const std::vector<Column>* pattrs = atg.AttrSchema(name);
+        std::vector<Column> attrs = pattrs == nullptr ? std::vector<Column>{}
+                                                      : *pattrs;
+        XVU_ASSIGN_OR_RETURN(SpjQuery rule,
+                             ParseRuleQuery(&sc, catalog, attrs));
+        XVU_RETURN_NOT_OK(
+            atg.dtd().AddElement(name, Production::Star(child)));
+        pending_stars.push_back(PendingStar{name, child, 0, std::move(rule)});
+        continue;
+      }
+      // Sequence production: child(field,...) [, child(field,...)]*.
+      PendingSeq seq;
+      seq.parent = name;
+      std::string cur = child;
+      for (;;) {
+        std::vector<std::string> fields;
+        XVU_RETURN_NOT_OK(sc.Expect('('));
+        if (!sc.Accept(')')) {
+          for (;;) {
+            XVU_ASSIGN_OR_RETURN(std::string f, sc.Ident());
+            fields.push_back(std::move(f));
+            if (!sc.Accept(',')) break;
+          }
+          XVU_RETURN_NOT_OK(sc.Expect(')'));
+        }
+        seq.children.emplace_back(cur, std::move(fields));
+        if (!sc.Accept(',')) break;
+        XVU_ASSIGN_OR_RETURN(cur, sc.Ident());
+      }
+      std::vector<std::string> child_types;
+      child_types.reserve(seq.children.size());
+      for (const auto& [c, _] : seq.children) child_types.push_back(c);
+      XVU_RETURN_NOT_OK(
+          atg.dtd().AddElement(name, Production::Sequence(child_types)));
+      pending_seqs.push_back(std::move(seq));
+      continue;
+    }
+    return Status::InvalidArgument("unknown declaration '" + kw + "' at " +
+                                   sc.Where());
+  }
+
+  // Resolve deferred pieces now that every attribute schema is known.
+  for (PendingStar& ps : pending_stars) {
+    XVU_RETURN_NOT_OK(atg.SetStarRule(ps.parent, std::move(ps.rule)));
+  }
+  for (const PendingSeq& seq : pending_seqs) {
+    const std::vector<Column>* pattrs = atg.AttrSchema(seq.parent);
+    for (const auto& [child, fields] : seq.children) {
+      std::vector<size_t> proj;
+      proj.reserve(fields.size());
+      for (const std::string& f : fields) {
+        size_t idx = Schema::npos;
+        if (pattrs != nullptr) {
+          for (size_t i = 0; i < pattrs->size(); ++i) {
+            if ((*pattrs)[i].name == f) {
+              idx = i;
+              break;
+            }
+          }
+        }
+        if (idx == Schema::npos) {
+          return Status::InvalidArgument("sequence child " + child + " of " +
+                                         seq.parent +
+                                         " references unknown parent field " +
+                                         f);
+        }
+        proj.push_back(idx);
+      }
+      XVU_RETURN_NOT_OK(atg.SetSequenceProjection(seq.parent, child, proj));
+    }
+  }
+  if (atg.AttrSchema(atg.dtd().root()) == nullptr) {
+    XVU_RETURN_NOT_OK(atg.SetAttrSchema(atg.dtd().root(), {}));
+  }
+  XVU_RETURN_NOT_OK(atg.Validate(catalog));
+  return atg;
+}
+
+namespace {
+
+/// Renders a rule query back into the parseable mini-SQL. Requires the
+/// catalog to recover real column names.
+std::string RenderRule(const SpjQuery& q, const Database& catalog,
+                       const std::vector<Column>& parent_attrs) {
+  auto col_name = [&](const SpjColRef& ref) {
+    const Table* t = catalog.GetTable(q.tables()[ref.table_pos].table);
+    std::string col = t != nullptr && ref.col_idx < t->schema().arity()
+                          ? t->schema().columns()[ref.col_idx].name
+                          : "c" + std::to_string(ref.col_idx);
+    return q.tables()[ref.table_pos].alias + "." + col;
+  };
+  std::vector<std::string> sel, from, where;
+  for (const SpjOutput& o : q.outputs()) {
+    sel.push_back(col_name(o.ref) + " as " + o.name);
+  }
+  for (const SpjQuery::TableRef& t : q.tables()) {
+    from.push_back(t.table + " " + t.alias);
+  }
+  for (const SpjCondition& c : q.conditions()) {
+    std::string lhs = col_name(c.lhs);
+    switch (c.kind) {
+      case SpjCondition::Kind::kColCol:
+        where.push_back(lhs + " = " + col_name(c.rhs));
+        break;
+      case SpjCondition::Kind::kColConst: {
+        std::string v;
+        switch (c.constant.type()) {
+          case ValueType::kString:
+            v = "\"" + c.constant.as_str() + "\"";
+            break;
+          default:
+            v = c.constant.ToString();
+        }
+        where.push_back(lhs + " = " + v);
+        break;
+      }
+      case SpjCondition::Kind::kColParam:
+        where.push_back(lhs + " = $" +
+                        (c.param_idx < parent_attrs.size()
+                             ? parent_attrs[c.param_idx].name
+                             : std::to_string(c.param_idx)));
+        break;
+    }
+  }
+  std::string out = "  select " + Join(sel, ", ") + "\n  from " +
+                    Join(from, ", ");
+  if (!where.empty()) out += "\n  where " + Join(where, " and ");
+  return out;
+}
+
+}  // namespace
+
+std::string AtgToText(const Atg& atg, const Database& catalog) {
+  const Dtd& dtd = atg.dtd();
+  std::string out = "root " + dtd.root() + "\n\n";
+  for (const std::string& t : dtd.Types()) {
+    const std::vector<Column>* attrs = atg.AttrSchema(t);
+    out += "type " + t + "(";
+    if (attrs != nullptr) {
+      for (size_t i = 0; i < attrs->size(); ++i) {
+        if (i > 0) out += ", ";
+        out += (*attrs)[i].name;
+        out += ": ";
+        out += ValueTypeName((*attrs)[i].type);
+      }
+    }
+    out += ")\n";
+  }
+  out += "\n";
+  for (const std::string& t : dtd.Types()) {
+    const Production* p = dtd.GetProduction(t);
+    switch (p->kind) {
+      case ContentKind::kPcdata:
+        out += "element " + t + " = PCDATA\n";
+        break;
+      case ContentKind::kEmpty:
+        out += "element " + t + " = EMPTY\n";
+        break;
+      case ContentKind::kStar: {
+        const SpjQuery* rule = atg.StarRule(t);
+        out += "element " + t + " = " + p->children[0] + "* from {\n" +
+               (rule != nullptr
+                    ? RenderRule(*rule, catalog,
+                                 atg.AttrSchema(t) != nullptr
+                                     ? *atg.AttrSchema(t)
+                                     : std::vector<Column>{})
+                    : "  # <missing rule>") +
+               "\n}\n";
+        break;
+      }
+      case ContentKind::kSequence: {
+        out += "element " + t + " = ";
+        const std::vector<Column>* pattrs = atg.AttrSchema(t);
+        for (size_t i = 0; i < p->children.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += p->children[i];
+          out += "(";
+          const std::vector<size_t>* proj =
+              atg.SequenceProjection(t, p->children[i]);
+          if (proj != nullptr && pattrs != nullptr) {
+            for (size_t j = 0; j < proj->size(); ++j) {
+              if (j > 0) out += ", ";
+              out += (*pattrs)[(*proj)[j]].name;
+            }
+          }
+          out += ")";
+        }
+        out += "\n";
+        break;
+      }
+      case ContentKind::kAlternation:
+        out += "# element " + t +
+               " uses an alternation production (not expressible in the "
+               "text format)\n";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace xvu

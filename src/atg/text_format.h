@@ -1,0 +1,72 @@
+#ifndef XVU_ATG_TEXT_FORMAT_H_
+#define XVU_ATG_TEXT_FORMAT_H_
+
+#include <string>
+
+#include "src/atg/atg.h"
+#include "src/common/status.h"
+
+namespace xvu {
+
+/// Parses a textual ATG definition, mirroring the paper's Fig.2 notation.
+/// Example (the registrar σ0):
+///
+///   root db
+///
+///   type db()
+///   type course(cno: string, title: string)
+///   type prereq(cno: string)
+///   type takenBy(cno: string)
+///   type student(ssn: string, name: string)
+///   type cno(text: string)
+///   type title(text: string)
+///   type ssn(text: string)
+///   type name(text: string)
+///
+///   element db = course* from {
+///     select c.cno as cno, c.title as title
+///     from course c
+///     where c.dept = "CS"
+///   }
+///   element course = cno(cno), title(title), prereq(cno), takenBy(cno)
+///   element prereq = course* from {
+///     select c.cno as cno, c.title as title
+///     from prereq p, course c
+///     where p.cno1 = $cno and p.cno2 = c.cno
+///   }
+///   element takenBy = student* from {
+///     select s.ssn as ssn, s.name as name
+///     from enroll e, student s
+///     where e.cno = $cno and e.ssn = s.ssn
+///   }
+///   element student = ssn(ssn), name(name)
+///   element cno = PCDATA
+///   element title = PCDATA
+///   element ssn = PCDATA
+///   element name = PCDATA
+///
+/// Semantics:
+///   - `type A(f: t, ...)` declares the semantic attribute $A (types:
+///     int, string, bool); the root's type may be omitted (empty tuple).
+///   - `element A = B* from { <SPJ> }` is a star production; the SPJ
+///     query's SELECT list must begin with $B's fields (by name);
+///     `$field` in the WHERE clause refers to $A's field of that name.
+///     Rule queries are automatically extended to key preservation.
+///   - `element A = B1(f,...), B2(f,...)` is a sequence production; the
+///     parenthesized names are $A fields forming each child's attribute.
+///   - `element A = PCDATA` / `element A = EMPTY` are leaves.
+///   - `#` starts a comment until end of line.
+///   - Alternation productions are not expressible in the text format
+///     (their branch selector is a function); use the C++ API.
+///
+/// The catalog supplies base-table schemas for resolving rule queries.
+Result<Atg> ParseAtgText(const std::string& text, const Database& catalog);
+
+/// Renders an ATG back into the text format (the catalog recovers real
+/// column names for the rule queries). Round-trips through ParseAtgText
+/// for ATGs without alternation rules.
+std::string AtgToText(const Atg& atg, const Database& catalog);
+
+}  // namespace xvu
+
+#endif  // XVU_ATG_TEXT_FORMAT_H_

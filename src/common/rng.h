@@ -1,0 +1,38 @@
+#ifndef XVU_COMMON_RNG_H_
+#define XVU_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace xvu {
+
+/// Deterministic xoshiro256** pseudo-random generator.
+///
+/// Used by the synthetic data generator, the workload generator and
+/// WalkSAT so that tests and benchmarks are reproducible across runs and
+/// platforms (std::mt19937 distributions are not portable across standard
+/// library implementations).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability p.
+  bool Chance(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace xvu
+
+#endif  // XVU_COMMON_RNG_H_

@@ -1,0 +1,23 @@
+#include "src/common/status.h"
+
+namespace xvu {
+
+std::string Status::ToString() const {
+  switch (code_) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument: " + msg_;
+    case StatusCode::kNotFound:
+      return "NotFound: " + msg_;
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists: " + msg_;
+    case StatusCode::kRejected:
+      return "Rejected: " + msg_;
+    case StatusCode::kInternal:
+      return "Internal: " + msg_;
+  }
+  return "Unknown";
+}
+
+}  // namespace xvu

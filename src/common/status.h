@@ -1,0 +1,121 @@
+#ifndef XVU_COMMON_STATUS_H_
+#define XVU_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace xvu {
+
+/// Error categories used across the library.
+///
+/// The library never throws for expected failures (rejected updates,
+/// constraint violations, unsatisfiable encodings); it returns a Status or
+/// Result<T> instead, in the style of Arrow / RocksDB.
+enum class StatusCode {
+  kOk = 0,
+  /// Malformed input (bad XPath syntax, unknown table/column, arity errors).
+  kInvalidArgument,
+  /// A well-formed request whose referent does not exist.
+  kNotFound,
+  /// Primary-key violation or duplicate definition.
+  kAlreadyExists,
+  /// The update was analysed and must be rejected (DTD violation,
+  /// untranslatable view update, unsatisfiable insertion encoding).
+  kRejected,
+  /// Internal invariant breakage; indicates a library bug.
+  kInternal,
+};
+
+/// Lightweight status object carrying a code and a message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status Rejected(std::string m) {
+    return Status(StatusCode::kRejected, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsRejected() const { return code_ == StatusCode::kRejected; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable rendering, e.g. "Rejected: side effects detected".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Result<T> holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates a non-OK status from an expression.
+#define XVU_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::xvu::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Assigns a Result's value to `lhs`, or propagates its error status.
+#define XVU_ASSIGN_OR_RETURN(lhs, rexpr)        \
+  auto XVU_CONCAT_(res_, __LINE__) = (rexpr);   \
+  if (!XVU_CONCAT_(res_, __LINE__).ok())        \
+    return XVU_CONCAT_(res_, __LINE__).status();\
+  lhs = std::move(XVU_CONCAT_(res_, __LINE__)).value()
+
+#define XVU_CONCAT_INNER_(a, b) a##b
+#define XVU_CONCAT_(a, b) XVU_CONCAT_INNER_(a, b)
+
+}  // namespace xvu
+
+#endif  // XVU_COMMON_STATUS_H_

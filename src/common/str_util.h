@@ -1,0 +1,24 @@
+#ifndef XVU_COMMON_STR_UTIL_H_
+#define XVU_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace xvu {
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits `s` on the character `sep`; empty fields are kept.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// Escapes &, <, >, ", ' for inclusion in XML text or attribute content.
+std::string XmlEscape(const std::string& s);
+
+}  // namespace xvu
+
+#endif  // XVU_COMMON_STR_UTIL_H_

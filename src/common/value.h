@@ -1,0 +1,76 @@
+#ifndef XVU_COMMON_VALUE_H_
+#define XVU_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace xvu {
+
+/// Column / attribute types supported by the relational substrate.
+enum class ValueType { kNull, kInt, kString, kBool };
+
+/// Returns "null" / "int" / "string" / "bool".
+const char* ValueTypeName(ValueType t);
+
+/// A dynamically-typed relational value.
+///
+/// Values are small and freely copyable; equality and ordering are defined
+/// across all values (type tag first, then payload), so Value can key hash
+/// maps and ordered containers.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t i) { return Value(Payload(i)); }
+  static Value Str(std::string s) { return Value(Payload(std::move(s))); }
+  static Value Bool(bool b) { return Value(Payload(b)); }
+
+  ValueType type() const {
+    switch (v_.index()) {
+      case 0: return ValueType::kNull;
+      case 1: return ValueType::kInt;
+      case 2: return ValueType::kString;
+      default: return ValueType::kBool;
+    }
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  int64_t as_int() const { return std::get<int64_t>(v_); }
+  const std::string& as_str() const { return std::get<std::string>(v_); }
+  bool as_bool() const { return std::get<bool>(v_); }
+
+  bool operator==(const Value& o) const { return v_ == o.v_; }
+  bool operator!=(const Value& o) const { return v_ != o.v_; }
+  bool operator<(const Value& o) const { return v_ < o.v_; }
+
+  /// Renders the payload without quoting: 42, abc, true, null.
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+ private:
+  using Payload = std::variant<std::monostate, int64_t, std::string, bool>;
+  explicit Value(Payload p) : v_(std::move(p)) {}
+  Payload v_;
+};
+
+/// A row: a fixed-arity sequence of values.
+using Tuple = std::vector<Value>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const;
+};
+
+/// Renders a tuple as "(v1, v2, ...)".
+std::string TupleToString(const Tuple& t);
+
+/// Parses a string into the given type ("42" -> Int, "true" -> Bool, ...).
+/// Returns Null on parse failure for int/bool.
+Value ParseValueAs(const std::string& text, ValueType type);
+
+}  // namespace xvu
+
+#endif  // XVU_COMMON_VALUE_H_

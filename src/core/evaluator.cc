@@ -1,0 +1,285 @@
+#include "src/core/evaluator.h"
+
+#include <unordered_set>
+
+namespace xvu {
+
+std::vector<uint8_t> XPathEvaluator::EvalFilter(const FilterExpr& q) const {
+  size_t cap = dag_->capacity();
+  std::vector<uint8_t> val(cap, 0);
+  switch (q.kind()) {
+    case FilterExpr::Kind::kLabelEq: {
+      for (NodeId v : order_->order()) {
+        val[v] = dag_->node(v).type == q.label() ? 1 : 0;
+      }
+      return val;
+    }
+    case FilterExpr::Kind::kAnd: {
+      std::vector<uint8_t> a = EvalFilter(*q.lhs());
+      std::vector<uint8_t> b = EvalFilter(*q.rhs());
+      for (size_t i = 0; i < cap; ++i) val[i] = a[i] && b[i];
+      return val;
+    }
+    case FilterExpr::Kind::kOr: {
+      std::vector<uint8_t> a = EvalFilter(*q.lhs());
+      std::vector<uint8_t> b = EvalFilter(*q.rhs());
+      for (size_t i = 0; i < cap; ++i) val[i] = a[i] || b[i];
+      return val;
+    }
+    case FilterExpr::Kind::kNot: {
+      std::vector<uint8_t> a = EvalFilter(*q.lhs());
+      for (NodeId v : order_->order()) val[v] = !a[v];
+      return val;
+    }
+    case FilterExpr::Kind::kPath:
+      return EvalPathExists(Normalize(q.path()), nullptr);
+    case FilterExpr::Kind::kPathEq: {
+      const std::string& s = q.value();
+      return EvalPathExists(Normalize(q.path()), &s);
+    }
+  }
+  return val;
+}
+
+std::vector<uint8_t> XPathEvaluator::EvalPathExists(
+    const NormalPath& np, const std::string* text_eq) const {
+  size_t cap = dag_->capacity();
+  size_t n = np.steps.size();
+  // exist[i][v]: the suffix starting at step i matches from v.
+  // Computed for i = n down to 0; the base case encodes the optional
+  // string-value comparison.
+  std::vector<uint8_t> next(cap, 0);
+  for (NodeId v : order_->order()) {
+    next[v] = text_eq == nullptr || dag_->TextOf(v) == *text_eq ? 1 : 0;
+  }
+  for (size_t i = n; i > 0; --i) {
+    const NormalStep& s = np.steps[i - 1];
+    std::vector<uint8_t> cur(cap, 0);
+    switch (s.kind) {
+      case NormalStep::Kind::kFilter: {
+        std::vector<uint8_t> fv = EvalFilter(*s.filter);
+        for (NodeId v : order_->order()) cur[v] = fv[v] && next[v];
+        break;
+      }
+      case NormalStep::Kind::kLabel: {
+        for (NodeId v : order_->order()) {
+          for (NodeId c : dag_->children(v)) {
+            if (next[c] && dag_->node(c).type == s.label) {
+              cur[v] = 1;
+              break;
+            }
+          }
+        }
+        break;
+      }
+      case NormalStep::Kind::kWildcard: {
+        for (NodeId v : order_->order()) {
+          for (NodeId c : dag_->children(v)) {
+            if (next[c]) {
+              cur[v] = 1;
+              break;
+            }
+          }
+        }
+        break;
+      }
+      case NormalStep::Kind::kDescOrSelf: {
+        // desc(q, v) = next(v) ∨ ∃ child c: desc(q, c) — the dynamic
+        // program of Section 3.2, evaluated in topological order so every
+        // child is final before its parents are visited.
+        for (NodeId v : order_->order()) {
+          if (next[v]) {
+            cur[v] = 1;
+            continue;
+          }
+          for (NodeId c : dag_->children(v)) {
+            if (cur[c]) {
+              cur[v] = 1;
+              break;
+            }
+          }
+        }
+        break;
+      }
+    }
+    next = std::move(cur);
+  }
+  return next;
+}
+
+namespace {
+
+/// Node set as vector + dense membership mask.
+struct NodeSet {
+  std::vector<NodeId> items;
+  std::vector<uint8_t> mask;
+
+  explicit NodeSet(size_t cap) : mask(cap, 0) {}
+  bool Contains(NodeId v) const { return mask[v] != 0; }
+  void Add(NodeId v) {
+    if (!mask[v]) {
+      mask[v] = 1;
+      items.push_back(v);
+    }
+  }
+};
+
+}  // namespace
+
+Result<EvalResult> XPathEvaluator::Evaluate(const Path& p) const {
+  NormalPath np = Normalize(p);
+  size_t cap = dag_->capacity();
+  size_t n = np.steps.size();
+  EvalResult out;
+  if (dag_->root() == kInvalidNode) return out;
+
+  // Forward pass: reached[i] = node set after step i (reached[0] = {root}).
+  std::vector<NodeSet> reached;
+  reached.reserve(n + 1);
+  reached.emplace_back(cap);
+  reached[0].Add(dag_->root());
+  for (size_t i = 0; i < n; ++i) {
+    const NormalStep& s = np.steps[i];
+    const NodeSet& cur = reached[i];
+    NodeSet next(cap);
+    switch (s.kind) {
+      case NormalStep::Kind::kFilter: {
+        std::vector<uint8_t> fv = EvalFilter(*s.filter);
+        for (NodeId v : cur.items) {
+          if (fv[v]) next.Add(v);
+        }
+        break;
+      }
+      case NormalStep::Kind::kLabel:
+      case NormalStep::Kind::kWildcard:
+        for (NodeId v : cur.items) {
+          for (NodeId c : dag_->children(v)) {
+            if (s.kind == NormalStep::Kind::kLabel &&
+                dag_->node(c).type != s.label) {
+              continue;
+            }
+            next.Add(c);
+          }
+        }
+        break;
+      case NormalStep::Kind::kDescOrSelf:
+        for (NodeId v : cur.items) {
+          next.Add(v);
+          for (NodeId d : reach_->Descendants(v)) next.Add(d);
+        }
+        break;
+    }
+    reached.push_back(std::move(next));
+    if (reached.back().items.empty()) {
+      return out;  // r[[p]] = ∅: no selection, no side effects
+    }
+  }
+
+  // Backward pruning: sel[i] ⊆ reached[i] keeps only nodes that lie on a
+  // derivation of some finally selected node. Computing side effects on
+  // the pruned sets avoids false positives from branches a later filter
+  // discards.
+  std::vector<NodeSet> sel;
+  sel.reserve(n + 1);
+  for (size_t i = 0; i <= n; ++i) sel.emplace_back(cap);
+  for (NodeId v : reached[n].items) sel[n].Add(v);
+  for (size_t i = n; i > 0; --i) {
+    const NormalStep& s = np.steps[i - 1];
+    switch (s.kind) {
+      case NormalStep::Kind::kFilter:
+        for (NodeId v : sel[i].items) sel[i - 1].Add(v);
+        break;
+      case NormalStep::Kind::kLabel:
+      case NormalStep::Kind::kWildcard:
+        for (NodeId v : sel[i].items) {
+          for (NodeId u : dag_->parents(v)) {
+            if (reached[i - 1].Contains(u)) sel[i - 1].Add(u);
+          }
+        }
+        break;
+      case NormalStep::Kind::kDescOrSelf:
+        for (NodeId v : sel[i].items) {
+          if (reached[i - 1].Contains(v)) sel[i - 1].Add(v);
+          for (NodeId a : reach_->Ancestors(v)) {
+            if (reached[i - 1].Contains(a)) sel[i - 1].Add(a);
+          }
+        }
+        break;
+    }
+  }
+
+  // Side effects: an edge into an on-path node that no selected
+  // derivation uses witnesses a tree occurrence of the modified subtree
+  // that p does not select (Section 3.2); its source goes into S.
+  NodeSet s_set(cap);
+  for (size_t i = 1; i <= n; ++i) {
+    const NormalStep& s = np.steps[i - 1];
+    switch (s.kind) {
+      case NormalStep::Kind::kFilter:
+        break;  // no movement, no new incoming edges
+      case NormalStep::Kind::kLabel:
+      case NormalStep::Kind::kWildcard:
+        for (NodeId v : sel[i].items) {
+          for (NodeId u : dag_->parents(v)) {
+            if (!sel[i - 1].Contains(u)) s_set.Add(u);
+          }
+        }
+        break;
+      case NormalStep::Kind::kDescOrSelf: {
+        // Cone = desc-or-self(sel[i-1]); every edge inside the cone is a
+        // valid derivation (// accepts any descent). Nodes strictly below
+        // the cone top with a parent outside the cone witness unselected
+        // occurrences. The cone tops' own incoming edges belong to the
+        // previous step.
+        NodeSet cone(cap);
+        for (NodeId u : sel[i - 1].items) {
+          cone.Add(u);
+          for (NodeId d : reach_->Descendants(u)) cone.Add(d);
+        }
+        // anc-or-self(sel[i]): the nodes actually on a descent path.
+        NodeSet between(cap);
+        for (NodeId v : sel[i].items) {
+          between.Add(v);
+          for (NodeId a : reach_->Ancestors(v)) between.Add(a);
+        }
+        for (NodeId w : cone.items) {
+          if (sel[i - 1].Contains(w)) continue;  // cone top: previous step
+          if (!between.Contains(w)) continue;
+          for (NodeId u : dag_->parents(w)) {
+            if (!cone.Contains(u)) s_set.Add(u);
+          }
+        }
+        break;
+      }
+    }
+  }
+  out.side_effect_nodes = std::move(s_set.items);
+  out.selected = sel[n].items;
+
+  // Ep(r): the parents through which p reaches each selected node. With a
+  // trailing child step these are the pruned derivation edges; after a
+  // trailing // (or the empty path) every incoming edge reaches the node
+  // (cf. Example 5's ∆V2 containing both takenBy parents).
+  size_t last_move = n;
+  while (last_move > 0 &&
+         np.steps[last_move - 1].kind == NormalStep::Kind::kFilter) {
+    --last_move;
+  }
+  if (last_move == 0 ||
+      np.steps[last_move - 1].kind == NormalStep::Kind::kDescOrSelf) {
+    for (NodeId v : sel[n].items) {
+      for (NodeId u : dag_->parents(v)) out.parent_edges.emplace_back(u, v);
+    }
+  } else {
+    for (NodeId v : sel[n].items) {
+      for (NodeId u : dag_->parents(v)) {
+        if (sel[last_move - 1].Contains(u)) {
+          out.parent_edges.emplace_back(u, v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace xvu

@@ -1,0 +1,67 @@
+#ifndef XVU_CORE_EVALUATOR_H_
+#define XVU_CORE_EVALUATOR_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/dag/dag_view.h"
+#include "src/dag/reachability.h"
+#include "src/dag/topo_order.h"
+#include "src/xpath/ast.h"
+#include "src/xpath/normal_form.h"
+
+namespace xvu {
+
+/// Output of evaluating an XPath expression p on the DAG (Section 3.2).
+struct EvalResult {
+  /// r[[p]]: nodes reached by p from the root.
+  std::vector<NodeId> selected;
+  /// Ep(r): (parent u, selected v) pairs such that p reaches v through u.
+  /// Needed by Algorithm Xdelete; a node can appear with several parents
+  /// (DAGs, unlike trees, have multiple incoming edges).
+  std::vector<std::pair<NodeId, NodeId>> parent_edges;
+  /// S: nodes affected by the update but not reached via p. Non-empty iff
+  /// the update has XML side effects (shared subtrees reachable through
+  /// paths that p does not select).
+  std::vector<NodeId> side_effect_nodes;
+
+  bool has_side_effects() const { return !side_effect_nodes.empty(); }
+};
+
+/// Two-pass XPath evaluator over a DAG stored as a DagView (Section 3.2):
+/// a bottom-up pass evaluates all filters by dynamic programming over the
+/// topological order L (computing val(q, v) and, for //-rooted path
+/// filters, desc(q, v)), then a top-down pass walks the normalized steps
+/// computing r[[p]], Ep(r) and the side-effect set S. Runs in O(|p|·|V|):
+/// every DAG edge is visited a constant number of times per step.
+class XPathEvaluator {
+ public:
+  /// `order` is the maintained topological order L (descendants first —
+  /// it drives the bottom-up pass); `reach` the maintained matrix M
+  /// (it resolves // steps and the ancestor side-effect checks).
+  XPathEvaluator(const DagView* dag, const TopoOrder* order,
+                 const Reachability* reach)
+      : dag_(dag), order_(order), reach_(reach) {}
+
+  Result<EvalResult> Evaluate(const Path& p) const;
+
+  /// Bottom-up evaluation of a single filter: val(q, v) for every live
+  /// node, indexed by NodeId. Exposed for tests.
+  std::vector<uint8_t> EvalFilter(const FilterExpr& q) const;
+
+ private:
+  /// exists-semantics of a relative (normalized) path from each node.
+  /// When `text_eq` is non-null, the node reached must additionally have
+  /// that string value (the p = "s" comparison).
+  std::vector<uint8_t> EvalPathExists(const NormalPath& np,
+                                      const std::string* text_eq) const;
+
+  const DagView* dag_;
+  const TopoOrder* order_;
+  const Reachability* reach_;
+};
+
+}  // namespace xvu
+
+#endif  // XVU_CORE_EVALUATOR_H_

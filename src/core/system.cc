@@ -1,0 +1,316 @@
+#include "src/core/system.h"
+
+#include <chrono>
+#include <unordered_set>
+
+#include "src/core/translate.h"
+#include "src/dtd/validate.h"
+#include "src/viewupdate/minimal_delete.h"
+#include "src/xpath/parser.h"
+
+namespace xvu {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<UpdateSystem>> UpdateSystem::Create(Atg atg,
+                                                           Database db,
+                                                           Options options) {
+  std::unique_ptr<UpdateSystem> sys(
+      new UpdateSystem(std::move(atg), std::move(db), options));
+  XVU_RETURN_NOT_OK(sys->Initialize());
+  return sys;
+}
+
+Result<std::unique_ptr<UpdateSystem>> UpdateSystem::Create(Atg atg,
+                                                           Database db) {
+  return Create(std::move(atg), std::move(db), Options());
+}
+
+Status UpdateSystem::Initialize() {
+  // Reset any previous state: Initialize doubles as a full resync.
+  store_ = ViewStore();
+  dag_ = DagView();
+  Publisher pub(&atg_, &db_);
+  XVU_ASSIGN_OR_RETURN(dag_, pub.PublishAll(&store_));
+  XVU_ASSIGN_OR_RETURN(topo_, TopoOrder::Compute(dag_));
+  reach_ = Reachability::Compute(dag_, topo_);
+  return Status::OK();
+}
+
+Result<DagView> UpdateSystem::Republish() const {
+  Publisher pub(&atg_, &db_);
+  return pub.PublishAll(nullptr);
+}
+
+Result<EvalResult> UpdateSystem::Query(const Path& p) const {
+  XPathEvaluator ev(&dag_, &topo_, &reach_);
+  return ev.Evaluate(p);
+}
+
+Result<EvalResult> UpdateSystem::Query(const std::string& xpath) const {
+  XVU_ASSIGN_OR_RETURN(Path p, ParseXPath(xpath));
+  return Query(p);
+}
+
+Status UpdateSystem::ApplyDeltaRTracked(const RelationalUpdate& dr,
+                                        std::vector<TableOp>* undo) {
+  for (const TableOp& op : dr.ops) {
+    Table* t = db_.GetTable(op.table);
+    if (t == nullptr) {
+      Rollback(*undo);
+      return Status::NotFound("table " + op.table);
+    }
+    if (op.kind == TableOp::Kind::kInsert) {
+      Tuple key = t->schema().KeyOf(op.row);
+      const Tuple* existing = t->FindByKey(key);
+      if (existing != nullptr) {
+        if (*existing == op.row) continue;  // no-op, nothing to undo
+        Rollback(*undo);
+        return Status::Rejected("∆R insert conflicts with existing tuple " +
+                                TupleToString(*existing) + " in " + op.table);
+      }
+      Status st = t->Insert(op.row);
+      if (!st.ok()) {
+        Rollback(*undo);
+        return st;
+      }
+      undo->push_back(TableOp{TableOp::Kind::kDelete, op.table, op.row});
+    } else {
+      Status st = t->DeleteByKey(t->schema().KeyOf(op.row));
+      if (!st.ok()) {
+        Rollback(*undo);
+        return st;
+      }
+      undo->push_back(TableOp{TableOp::Kind::kInsert, op.table, op.row});
+    }
+  }
+  return Status::OK();
+}
+
+void UpdateSystem::Rollback(const std::vector<TableOp>& undo) {
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+    Table* t = db_.GetTable(it->table);
+    if (t == nullptr) continue;
+    if (it->kind == TableOp::Kind::kInsert) {
+      (void)t->Insert(it->row);
+    } else {
+      (void)t->DeleteByKey(t->schema().KeyOf(it->row));
+    }
+  }
+}
+
+Status UpdateSystem::ApplyInsert(const std::string& elem_type,
+                                 const Tuple& attr, const Path& p) {
+  stats_ = UpdateStats{};
+  // Phase 0: schema-level validation (Section 2.4).
+  XVU_RETURN_NOT_OK(ValidateInsert(atg_.dtd(), p, elem_type));
+  const std::vector<Column>* schema = atg_.AttrSchema(elem_type);
+  if (schema == nullptr || schema->size() != attr.size()) {
+    return Status::InvalidArgument("attribute arity mismatch for " +
+                                   elem_type);
+  }
+
+  // Phase 1: XPath evaluation + side-effect detection.
+  auto t0 = Clock::now();
+  XPathEvaluator evaluator(&dag_, &topo_, &reach_);
+  XVU_ASSIGN_OR_RETURN(EvalResult ev, evaluator.Evaluate(p));
+  auto t1 = Clock::now();
+  stats_.xpath_seconds = Seconds(t0, t1);
+  stats_.selected = ev.selected.size();
+  stats_.had_side_effects = ev.has_side_effects();
+  if (ev.selected.empty()) {
+    return Status::Rejected("XPath selects no nodes; nothing to insert into");
+  }
+  if (ev.has_side_effects() &&
+      options_.side_effects == SideEffectPolicy::kAbort) {
+    return Status::Rejected(
+        "insertion has XML side effects (" +
+        std::to_string(ev.side_effect_nodes.size()) +
+        " additional affected nodes); aborted by policy");
+  }
+
+  // Cycle guard for a pre-existing subtree root: inserting (u, r_A) with
+  // r_A an ancestor-or-self of some target u would loop the view.
+  NodeId existing_root = dag_.FindNode(elem_type, attr);
+  if (existing_root != kInvalidNode) {
+    for (NodeId u : ev.selected) {
+      if (u == existing_root || reach_.IsAncestor(existing_root, u)) {
+        return Status::Rejected(
+            "inserting (" + elem_type +
+            ", ...) here would make the view cyclic (the subtree already "
+            "contains the target)");
+      }
+    }
+  }
+
+  // Phase 2: ∆X → ∆V → ∆R.
+  XVU_ASSIGN_OR_RETURN(
+      std::vector<ViewRowOp> dv,
+      XInsertConnectRows(store_, db_, dag_, ev.selected, elem_type, attr));
+  stats_.delta_v = dv.size();
+  XVU_ASSIGN_OR_RETURN(InsertTranslation tr,
+                       TranslateGroupInsertion(store_, db_, dv,
+                                               options_.insert));
+  stats_.used_sat = tr.used_sat;
+  stats_.delta_r = tr.delta_r.ops.size();
+
+  // Phase 2b: apply ∆R, publish ST(A, t), connect.
+  std::vector<TableOp> undo;
+  XVU_RETURN_NOT_OK(ApplyDeltaRTracked(tr.delta_r, &undo));
+
+  Publisher pub(&atg_, &db_);
+  auto sub = pub.PublishSubtree(elem_type, attr, &dag_, &store_);
+  auto rollback_subtree = [&](const Publisher::SubtreeResult& st) {
+    for (auto it = st.new_edges.rbegin(); it != st.new_edges.rend(); ++it) {
+      (void)dag_.RemoveEdge(it->first, it->second);
+    }
+    for (auto it = st.new_nodes.rbegin(); it != st.new_nodes.rend(); ++it) {
+      NodeId n = *it;
+      const std::string& type = dag_.node(n).type;
+      // Witness rows added during this publication all have a new parent.
+      for (const std::string& vn : store_.EdgeViewNames()) {
+        const EdgeViewInfo* info = store_.GetEdgeView(vn);
+        if (info->parent_type != type) continue;
+        Table* vt = store_.db().GetTable(vn);
+        std::vector<Tuple> rows;
+        vt->ForEach([&](const Tuple& r) {
+          if (r[0] == Value::Int(static_cast<int64_t>(n))) rows.push_back(r);
+        });
+        for (const Tuple& r : rows) (void)store_.RemoveEdgeRow(vn, r);
+      }
+      (void)store_.RemoveGenRow(type, static_cast<int64_t>(n));
+      (void)dag_.RemoveNode(n);
+    }
+  };
+  if (!sub.ok()) {
+    Rollback(undo);
+    return sub.status();
+  }
+  Publisher::SubtreeResult st = std::move(sub).value();
+  stats_.subtree_edges = st.new_edges.size();
+  if (st.cyclic) {
+    rollback_subtree(st);
+    Rollback(undo);
+    return Status::Rejected("inserted subtree makes the view cyclic");
+  }
+  // Connect-edge cycle guard for a freshly published root.
+  {
+    std::vector<NodeId> cone = CollectDescOrSelf(dag_, {st.root});
+    std::unordered_set<NodeId> cone_set(cone.begin(), cone.end());
+    for (NodeId u : ev.selected) {
+      if (cone_set.count(u) > 0) {
+        rollback_subtree(st);
+        Rollback(undo);
+        return Status::Rejected(
+            "inserting (" + elem_type +
+            ", ...) here would make the view cyclic");
+      }
+    }
+  }
+  std::vector<NodeId> connected;
+  for (size_t i = 0; i < ev.selected.size(); ++i) {
+    NodeId u = ev.selected[i];
+    if (dag_.AddEdge(u, st.root)) connected.push_back(u);
+    // Fix up the child_id placeholder and materialize the witness row.
+    Tuple row = dv[i].row;
+    row[1] = Value::Int(static_cast<int64_t>(st.root));
+    XVU_RETURN_NOT_OK(store_.AddEdgeRow(dv[i].view_name, row));
+  }
+  auto t2 = Clock::now();
+  stats_.translate_seconds = Seconds(t1, t2);
+
+  // Phase 3: maintenance of M and L (backgroundable per Section 3.4).
+  MaintenanceDelta delta;
+  XVU_RETURN_NOT_OK(MaintainInsert(dag_, st.root, st.new_nodes, connected,
+                                   &reach_, &topo_, &delta));
+  stats_.maintain_seconds = Seconds(t2, Clock::now());
+  return Status::OK();
+}
+
+Status UpdateSystem::ApplyDelete(const Path& p) {
+  stats_ = UpdateStats{};
+  XVU_RETURN_NOT_OK(ValidateDelete(atg_.dtd(), p));
+
+  auto t0 = Clock::now();
+  XPathEvaluator evaluator(&dag_, &topo_, &reach_);
+  XVU_ASSIGN_OR_RETURN(EvalResult ev, evaluator.Evaluate(p));
+  auto t1 = Clock::now();
+  stats_.xpath_seconds = Seconds(t0, t1);
+  stats_.selected = ev.selected.size();
+  stats_.parent_edges = ev.parent_edges.size();
+  stats_.had_side_effects = ev.has_side_effects();
+  if (ev.selected.empty()) {
+    return Status::Rejected("XPath selects no nodes; nothing to delete");
+  }
+  if (ev.has_side_effects() &&
+      options_.side_effects == SideEffectPolicy::kAbort) {
+    return Status::Rejected(
+        "deletion has XML side effects (" +
+        std::to_string(ev.side_effect_nodes.size()) +
+        " additional affected nodes); aborted by policy");
+  }
+
+  XVU_ASSIGN_OR_RETURN(std::vector<ViewRowOp> dv,
+                       XDeleteRows(store_, dag_, ev.parent_edges));
+  stats_.delta_v = dv.size();
+  Result<RelationalUpdate> dr =
+      options_.minimal_deletions
+          ? TranslateMinimalDeletion(store_, db_, dv)
+          : TranslateGroupDeletion(store_, db_, dv);
+  if (!dr.ok()) return dr.status();
+  stats_.delta_r = dr->ops.size();
+
+  std::vector<TableOp> undo;
+  XVU_RETURN_NOT_OK(ApplyDeltaRTracked(*dr, &undo));
+  // Apply ∆V: drop the edges and their witness rows.
+  for (const auto& [u, v] : ev.parent_edges) {
+    XVU_RETURN_NOT_OK(dag_.RemoveEdge(u, v));
+  }
+  for (const ViewRowOp& op : dv) {
+    XVU_RETURN_NOT_OK(store_.RemoveEdgeRow(op.view_name, op.row));
+  }
+  auto t2 = Clock::now();
+  stats_.translate_seconds = Seconds(t1, t2);
+
+  // Maintenance + garbage collection (Fig.8).
+  MaintenanceDelta delta;
+  XVU_RETURN_NOT_OK(
+      MaintainDelete(&dag_, ev.selected, &reach_, &topo_, &delta));
+  // Reclaim the relational coding of collected parts: witness rows of
+  // orphan edges, then gen rows of removed nodes.
+  for (const auto& [u, v] : delta.orphan_edges) {
+    // Types must be read before the node rows are reclaimed; dead nodes
+    // are tombstoned but their labels remain accessible.
+    const std::string& pt = dag_.node(u).type;
+    const std::string& ct = dag_.node(v).type;
+    const EdgeViewInfo* info = store_.FindEdgeViewByTypes(pt, ct);
+    if (info == nullptr) continue;
+    for (const Tuple& row :
+         store_.EdgeRowsFor(info->name, static_cast<int64_t>(u),
+                            static_cast<int64_t>(v))) {
+      XVU_RETURN_NOT_OK(store_.RemoveEdgeRow(info->name, row));
+    }
+  }
+  for (NodeId n : delta.removed_nodes) {
+    XVU_RETURN_NOT_OK(
+        store_.RemoveGenRow(dag_.node(n).type, static_cast<int64_t>(n)));
+  }
+  stats_.maintain_seconds = Seconds(t2, Clock::now());
+  return Status::OK();
+}
+
+Status UpdateSystem::ApplyStatement(const std::string& stmt) {
+  XVU_ASSIGN_OR_RETURN(XmlUpdate u, ParseUpdate(stmt, atg_));
+  if (u.kind == XmlUpdate::Kind::kDelete) return ApplyDelete(u.path);
+  return ApplyInsert(u.elem_type, u.attr, u.path);
+}
+
+}  // namespace xvu

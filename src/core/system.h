@@ -1,0 +1,135 @@
+#ifndef XVU_CORE_SYSTEM_H_
+#define XVU_CORE_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/atg/atg.h"
+#include "src/atg/publisher.h"
+#include "src/core/evaluator.h"
+#include "src/core/update.h"
+#include "src/dag/maintenance.h"
+#include "src/dag/reachability.h"
+#include "src/dag/topo_order.h"
+#include "src/viewupdate/insert.h"
+
+namespace xvu {
+
+/// What to do when an update touches shared subtrees outside r[[p]]
+/// (Section 2.1): abort and report, or carry on under the revised
+/// semantics (the update applies to every occurrence of the shared
+/// subtree, which the DAG realizes structurally).
+enum class SideEffectPolicy { kAbort, kProceed };
+
+/// Per-update timing and size statistics, matching the breakdown reported
+/// in Fig.11: (a) XPath evaluation, (b) translation ∆X→∆V→∆R plus update
+/// execution, (c) auxiliary-structure maintenance (backgroundable).
+struct UpdateStats {
+  double xpath_seconds = 0;
+  double translate_seconds = 0;
+  double maintain_seconds = 0;
+  size_t selected = 0;       ///< |r[[p]]|
+  size_t parent_edges = 0;   ///< |Ep(r)|
+  size_t delta_v = 0;        ///< view rows touched
+  size_t delta_r = 0;        ///< base tuples touched
+  size_t subtree_edges = 0;  ///< |E_A| for insertions
+  bool had_side_effects = false;
+  bool used_sat = false;
+
+  double total_seconds() const {
+    return xpath_seconds + translate_seconds + maintain_seconds;
+  }
+};
+
+/// The end-to-end XML view update processor of Fig.3.
+///
+/// Owns the published state: the base database I, the DAG compression of
+/// σ(I), its relational coding V_σ (ViewStore), and the auxiliary
+/// structures L and M. Each update runs the pipeline
+///   DTD validation → XPath evaluation + side-effect detection →
+///   ∆X→∆V translation → ∆V→∆R translation → apply → incremental
+///   maintenance + garbage collection,
+/// rejecting as early as possible and leaving all state untouched on
+/// rejection.
+class UpdateSystem {
+ public:
+  struct Options {
+    SideEffectPolicy side_effects = SideEffectPolicy::kProceed;
+    InsertOptions insert;
+    /// Use the minimal-deletion solver instead of Algorithm delete's
+    /// arbitrary pick (Section 4.2 "Minimal Deletions").
+    bool minimal_deletions = false;
+  };
+
+  /// Publishes σ(db) and builds all auxiliary structures.
+  static Result<std::unique_ptr<UpdateSystem>> Create(Atg atg, Database db,
+                                                      Options options);
+  static Result<std::unique_ptr<UpdateSystem>> Create(Atg atg, Database db);
+
+  /// Applies `insert (elem_type, attr) into p`.
+  Status ApplyInsert(const std::string& elem_type, const Tuple& attr,
+                     const Path& p);
+  /// Applies `delete p`.
+  Status ApplyDelete(const Path& p);
+  /// Parses and applies a textual update statement.
+  Status ApplyStatement(const std::string& stmt);
+
+  /// Propagates a *relational* group update into the maintained view —
+  /// the incremental-publishing direction ([8] in the paper; Fig.3's
+  /// maintenance of V after ∆R). Each base insertion contributes exactly
+  /// the delta-join rows that use it (new edges and, transitively, new
+  /// subtrees); each deletion removes the witness rows that used the
+  /// tuple, with unreferenced edges and nodes garbage-collected. Rejected
+  /// (with full rollback of nothing applied) if the update would make the
+  /// view cyclic; ops are applied one at a time, failing fast otherwise.
+  Status ApplyRelationalUpdate(const RelationalUpdate& dr);
+
+  /// Read-only XPath query over the view.
+  Result<EvalResult> Query(const Path& p) const;
+  Result<EvalResult> Query(const std::string& xpath) const;
+
+  const Database& database() const { return db_; }
+  const DagView& dag() const { return dag_; }
+  const ViewStore& store() const { return store_; }
+  const TopoOrder& topo() const { return topo_; }
+  const Reachability& reachability() const { return reach_; }
+  const Atg& atg() const { return atg_; }
+
+  /// Statistics of the most recent (accepted or rejected) update.
+  const UpdateStats& last_stats() const { return stats_; }
+
+  /// Republishes σ(I) from scratch — the oracle used by tests to check
+  /// that incremental maintenance matches recomputation.
+  Result<DagView> Republish() const;
+
+ private:
+  UpdateSystem(Atg atg, Database db, Options options)
+      : atg_(std::move(atg)), db_(std::move(db)), options_(options) {}
+
+  Status Initialize();
+
+  /// Applies ∆R recording the ops that actually changed the database, so
+  /// a later rejection can roll back precisely.
+  Status ApplyDeltaRTracked(const RelationalUpdate& dr,
+                            std::vector<TableOp>* undo);
+  void Rollback(const std::vector<TableOp>& undo);
+
+  /// Propagates one already-applied base insertion / deletion into the
+  /// view (core/propagate.cc).
+  Status PropagateBaseInsert(const std::string& table, const Tuple& row);
+  Status PropagateBaseDelete(const std::string& table, const Tuple& row);
+
+  Atg atg_;
+  Database db_;
+  Options options_;
+  ViewStore store_;
+  DagView dag_;
+  TopoOrder topo_;
+  Reachability reach_;
+  UpdateStats stats_;
+};
+
+}  // namespace xvu
+
+#endif  // XVU_CORE_SYSTEM_H_

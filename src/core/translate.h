@@ -1,0 +1,44 @@
+#ifndef XVU_CORE_TRANSLATE_H_
+#define XVU_CORE_TRANSLATE_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/atg/atg.h"
+#include "src/common/status.h"
+#include "src/dag/dag_view.h"
+#include "src/viewupdate/delete.h"
+#include "src/viewupdate/view_store.h"
+
+namespace xvu {
+
+/// Derives the full projected row of a rule query from the parent's and
+/// child's semantic attributes by constant propagation over the rule's
+/// conditions (the key columns added for key preservation are all
+/// functionally determined by ($A, $B) in a valid ATG edge). Rejected when
+/// a projected column stays undetermined.
+Result<Tuple> DeriveEdgeRowOutputs(const EdgeViewInfo& info,
+                                   const Database& base,
+                                   const Tuple& parent_attr,
+                                   const Tuple& child_attr);
+
+/// Algorithm Xinsert, connect-edge part (Fig.5 lines 6-7): builds the ∆V
+/// insertions (u_i, r_A) for every target u_i in r[[p]]. The child_id
+/// column carries the placeholder -1 — the real gen id is only known after
+/// ST(A, t) is published; the relational translation never reads it.
+/// The subtree-internal edges E_A (lines 2-5) are realized by publishing
+/// ST(A, t) itself once ∆R is applied.
+Result<std::vector<ViewRowOp>> XInsertConnectRows(
+    const ViewStore& store, const Database& base, const DagView& dag,
+    const std::vector<NodeId>& targets, const std::string& elem_type,
+    const Tuple& attr);
+
+/// Algorithm Xdelete (Fig.6): for every (u, v) in Ep(r), emit the deletion
+/// of every witness row of edge (u, v) from its edge relation.
+Result<std::vector<ViewRowOp>> XDeleteRows(
+    const ViewStore& store, const DagView& dag,
+    const std::vector<std::pair<NodeId, NodeId>>& parent_edges);
+
+}  // namespace xvu
+
+#endif  // XVU_CORE_TRANSLATE_H_

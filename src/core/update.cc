@@ -1,0 +1,135 @@
+#include "src/core/update.h"
+
+#include <cctype>
+
+#include "src/xpath/parser.h"
+
+namespace xvu {
+
+std::string XmlUpdate::ToString() const {
+  if (kind == Kind::kDelete) {
+    return "delete " + path.ToString();
+  }
+  return "insert " + elem_type + TupleToString(attr) + " into " +
+         path.ToString();
+}
+
+namespace {
+
+void SkipSpace(const std::string& s, size_t* i) {
+  while (*i < s.size() && std::isspace(static_cast<unsigned char>(s[*i]))) {
+    ++*i;
+  }
+}
+
+bool ConsumeWord(const std::string& s, size_t* i, const std::string& word) {
+  SkipSpace(s, i);
+  if (s.compare(*i, word.size(), word) != 0) return false;
+  size_t end = *i + word.size();
+  if (end < s.size() &&
+      (std::isalnum(static_cast<unsigned char>(s[end])) || s[end] == '_')) {
+    return false;
+  }
+  *i = end;
+  return true;
+}
+
+Result<std::string> ParseIdent(const std::string& s, size_t* i) {
+  SkipSpace(s, i);
+  size_t start = *i;
+  while (*i < s.size() && (std::isalnum(static_cast<unsigned char>(s[*i])) ||
+                           s[*i] == '_')) {
+    ++*i;
+  }
+  if (*i == start) {
+    return Status::InvalidArgument("expected identifier at offset " +
+                                   std::to_string(start));
+  }
+  return s.substr(start, *i - start);
+}
+
+Result<std::vector<std::string>> ParseValueList(const std::string& s,
+                                                size_t* i) {
+  SkipSpace(s, i);
+  if (*i >= s.size() || s[*i] != '(') {
+    return Status::InvalidArgument("expected '(' after element type");
+  }
+  ++*i;
+  std::vector<std::string> values;
+  for (;;) {
+    SkipSpace(s, i);
+    if (*i >= s.size()) {
+      return Status::InvalidArgument("unterminated value list");
+    }
+    if (s[*i] == ')') {
+      ++*i;
+      break;
+    }
+    if (s[*i] == '"' || s[*i] == '\'') {
+      char quote = s[*i];
+      ++*i;
+      std::string lit;
+      while (*i < s.size() && s[*i] != quote) lit.push_back(s[(*i)++]);
+      if (*i >= s.size()) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      ++*i;
+      values.push_back(std::move(lit));
+    } else {
+      std::string word;
+      while (*i < s.size() && s[*i] != ',' && s[*i] != ')' &&
+             !std::isspace(static_cast<unsigned char>(s[*i]))) {
+        word.push_back(s[(*i)++]);
+      }
+      values.push_back(std::move(word));
+    }
+    SkipSpace(s, i);
+    if (*i < s.size() && s[*i] == ',') ++*i;
+  }
+  return values;
+}
+
+}  // namespace
+
+Result<XmlUpdate> ParseUpdate(const std::string& stmt, const Atg& atg) {
+  size_t i = 0;
+  XmlUpdate u;
+  if (ConsumeWord(stmt, &i, "delete")) {
+    u.kind = XmlUpdate::Kind::kDelete;
+    XVU_ASSIGN_OR_RETURN(u.path, ParseXPath(stmt.substr(i)));
+    return u;
+  }
+  if (!ConsumeWord(stmt, &i, "insert")) {
+    return Status::InvalidArgument(
+        "update must start with 'insert' or 'delete'");
+  }
+  u.kind = XmlUpdate::Kind::kInsert;
+  XVU_ASSIGN_OR_RETURN(u.elem_type, ParseIdent(stmt, &i));
+  XVU_ASSIGN_OR_RETURN(std::vector<std::string> raw, ParseValueList(stmt, &i));
+  const std::vector<Column>* schema = atg.AttrSchema(u.elem_type);
+  if (schema == nullptr) {
+    return Status::InvalidArgument("unknown element type " + u.elem_type);
+  }
+  if (raw.size() != schema->size()) {
+    return Status::InvalidArgument(
+        "element " + u.elem_type + " expects " +
+        std::to_string(schema->size()) + " attribute fields, got " +
+        std::to_string(raw.size()));
+  }
+  u.attr.reserve(raw.size());
+  for (size_t k = 0; k < raw.size(); ++k) {
+    Value v = ParseValueAs(raw[k], (*schema)[k].type);
+    if (v.is_null() && (*schema)[k].type != ValueType::kNull) {
+      return Status::InvalidArgument("cannot parse '" + raw[k] + "' as " +
+                                     ValueTypeName((*schema)[k].type));
+    }
+    u.attr.push_back(std::move(v));
+  }
+  if (!ConsumeWord(stmt, &i, "into")) {
+    return Status::InvalidArgument("expected 'into' after element value");
+  }
+  XVU_ASSIGN_OR_RETURN(u.path, ParseXPath(stmt.substr(i)));
+  return u;
+}
+
+}  // namespace xvu

@@ -1,0 +1,36 @@
+#ifndef XVU_CORE_UPDATE_H_
+#define XVU_CORE_UPDATE_H_
+
+#include <string>
+
+#include "src/atg/atg.h"
+#include "src/common/status.h"
+#include "src/common/value.h"
+#include "src/xpath/ast.h"
+
+namespace xvu {
+
+/// An XML view update ∆X (Section 2.1):
+///   insert (A, t) into p   |   delete p
+/// where A is an element type, t an instantiation of its semantic
+/// attribute $A, and p an XPath expression.
+struct XmlUpdate {
+  enum class Kind { kInsert, kDelete };
+  Kind kind = Kind::kDelete;
+  Path path;
+  std::string elem_type;  ///< insert only: A
+  Tuple attr;             ///< insert only: t
+
+  std::string ToString() const;
+};
+
+/// Parses the textual update syntax:
+///   insert TYPE(v1, v2, ...) into XPATH
+///   delete XPATH
+/// Values are typed against the ATG's attribute schema for TYPE; quoted
+/// strings and barewords are both accepted.
+Result<XmlUpdate> ParseUpdate(const std::string& stmt, const Atg& atg);
+
+}  // namespace xvu
+
+#endif  // XVU_CORE_UPDATE_H_

@@ -1,0 +1,177 @@
+#include "src/dag/dag_view.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/str_util.h"
+
+namespace xvu {
+
+NodeId DagView::GetOrAddNode(const std::string& type, const Tuple& attr) {
+  auto& per_type = gen_[type];
+  auto it = per_type.find(attr);
+  if (it != per_type.end()) return it->second;
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{type, attr});
+  dead_.push_back(0);
+  children_.emplace_back();
+  parents_.emplace_back();
+  per_type.emplace(attr, id);
+  ++live_nodes_;
+  return id;
+}
+
+NodeId DagView::FindNode(const std::string& type, const Tuple& attr) const {
+  auto tit = gen_.find(type);
+  if (tit == gen_.end()) return kInvalidNode;
+  auto it = tit->second.find(attr);
+  return it == tit->second.end() ? kInvalidNode : it->second;
+}
+
+bool DagView::AddEdge(NodeId parent, NodeId child) {
+  if (HasEdge(parent, child)) return false;
+  children_[parent].push_back(child);
+  parents_[child].push_back(parent);
+  ++num_edges_;
+  return true;
+}
+
+bool DagView::HasEdge(NodeId parent, NodeId child) const {
+  const auto& cs = children_[parent];
+  return std::find(cs.begin(), cs.end(), child) != cs.end();
+}
+
+Status DagView::RemoveEdge(NodeId parent, NodeId child) {
+  auto& cs = children_[parent];
+  auto it = std::find(cs.begin(), cs.end(), child);
+  if (it == cs.end()) {
+    return Status::NotFound("edge (" + std::to_string(parent) + "," +
+                            std::to_string(child) + ") not in DAG");
+  }
+  cs.erase(it);
+  auto& ps = parents_[child];
+  ps.erase(std::find(ps.begin(), ps.end(), parent));
+  --num_edges_;
+  return Status::OK();
+}
+
+Status DagView::RemoveNode(NodeId id) {
+  if (!alive(id)) return Status::NotFound("node already dead");
+  if (!children_[id].empty() || !parents_[id].empty()) {
+    return Status::InvalidArgument("node " + std::to_string(id) +
+                                   " still has incident edges");
+  }
+  dead_[id] = 1;
+  gen_[nodes_[id].type].erase(nodes_[id].attr);
+  --live_nodes_;
+  return Status::OK();
+}
+
+std::vector<NodeId> DagView::LiveNodes() const {
+  std::vector<NodeId> out;
+  out.reserve(live_nodes_);
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (!dead_[i]) out.push_back(i);
+  }
+  return out;
+}
+
+std::string DagView::TextOf(NodeId id) const {
+  const Node& n = nodes_[id];
+  std::string out;
+  for (size_t i = 0; i < n.attr.size(); ++i) {
+    if (i > 0) out += " ";
+    out += n.attr[i].ToString();
+  }
+  return out;
+}
+
+size_t DagView::UncompressedTreeSize() const {
+  // sizes[v] = 1 + sum over children (with multiplicity 1 per edge).
+  // Process in reverse topological order via memoized DFS.
+  constexpr size_t kMax = std::numeric_limits<size_t>::max();
+  std::vector<size_t> memo(nodes_.size(), 0);
+  std::vector<uint8_t> done(nodes_.size(), 0);
+  // Iterative DFS to avoid stack depth issues.
+  if (root_ == kInvalidNode) return 0;
+  std::vector<std::pair<NodeId, size_t>> stack = {{root_, 0}};
+  while (!stack.empty()) {
+    auto& [v, ci] = stack.back();
+    if (ci == 0 && done[v]) {
+      stack.pop_back();
+      continue;
+    }
+    if (ci < children_[v].size()) {
+      NodeId c = children_[v][ci];
+      ++ci;
+      if (!done[c]) stack.push_back({c, 0});
+      continue;
+    }
+    size_t total = 1;
+    for (NodeId c : children_[v]) {
+      if (memo[c] == kMax || total > kMax - memo[c]) {
+        total = kMax;
+        break;
+      }
+      total += memo[c];
+    }
+    memo[v] = total;
+    done[v] = 1;
+    stack.pop_back();
+  }
+  return memo[root_];
+}
+
+namespace {
+
+void ToXmlRec(const DagView& dag, NodeId v, int depth, size_t max_nodes,
+              size_t* count, std::string* out) {
+  if (*count >= max_nodes) return;
+  ++*count;
+  std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  const DagView::Node& n = dag.node(v);
+  if (n.is_text) {
+    *out += indent + "<" + n.type + ">" + XmlEscape(dag.TextOf(v)) + "</" +
+            n.type + ">\n";
+    return;
+  }
+  if (dag.children(v).empty()) {
+    *out += indent + "<" + n.type + "/>\n";
+    return;
+  }
+  *out += indent + "<" + n.type + ">\n";
+  for (NodeId c : dag.children(v)) {
+    ToXmlRec(dag, c, depth + 1, max_nodes, count, out);
+    if (*count >= max_nodes) {
+      *out += indent + "  <!-- truncated -->\n";
+      break;
+    }
+  }
+  *out += indent + "</" + n.type + ">\n";
+}
+
+}  // namespace
+
+std::string DagView::ToXml(size_t max_nodes) const {
+  if (root_ == kInvalidNode) return "";
+  std::string out;
+  size_t count = 0;
+  ToXmlRec(*this, root_, 0, max_nodes, &count, &out);
+  return out;
+}
+
+std::string DagView::CanonicalKey(NodeId id) const {
+  const Node& n = nodes_[id];
+  return n.type + TupleToString(n.attr);
+}
+
+std::set<std::pair<std::string, std::string>> DagView::CanonicalEdges()
+    const {
+  std::set<std::pair<std::string, std::string>> out;
+  ForEachEdge([&](NodeId u, NodeId v) {
+    out.emplace(CanonicalKey(u), CanonicalKey(v));
+  });
+  return out;
+}
+
+}  // namespace xvu

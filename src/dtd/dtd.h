@@ -1,0 +1,89 @@
+#ifndef XVU_DTD_DTD_H_
+#define XVU_DTD_DTD_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace xvu {
+
+/// Content model of a normalized DTD production (Section 2.2):
+///   α ::= pcdata | ε | B1,...,Bn | B1 + ... + Bn | B*
+/// Arbitrary DTDs can be normalized into this form in linear time.
+enum class ContentKind {
+  kPcdata,       ///< text leaf
+  kEmpty,        ///< ε
+  kSequence,     ///< B1, ..., Bn
+  kAlternation,  ///< B1 + ... + Bn
+  kStar,         ///< B*
+};
+
+struct Production {
+  ContentKind kind = ContentKind::kEmpty;
+  std::vector<std::string> children;  ///< kStar: exactly one entry.
+
+  static Production Pcdata() { return {ContentKind::kPcdata, {}}; }
+  static Production Empty() { return {ContentKind::kEmpty, {}}; }
+  static Production Sequence(std::vector<std::string> cs) {
+    return {ContentKind::kSequence, std::move(cs)};
+  }
+  static Production Alternation(std::vector<std::string> cs) {
+    return {ContentKind::kAlternation, std::move(cs)};
+  }
+  static Production Star(std::string c) {
+    return {ContentKind::kStar, {std::move(c)}};
+  }
+
+  std::string ToString() const;
+};
+
+/// A DTD D = (E, P, r): element types, productions, root type.
+/// DTDs may be recursive (a type defined directly or indirectly in terms of
+/// itself); recursion is first-class throughout the library.
+class Dtd {
+ public:
+  Dtd() = default;
+  explicit Dtd(std::string root) : root_(std::move(root)) {}
+
+  void SetRoot(std::string root) { root_ = std::move(root); }
+  const std::string& root() const { return root_; }
+
+  Status AddElement(const std::string& type, Production production);
+
+  bool HasElement(const std::string& type) const {
+    return productions_.count(type) > 0;
+  }
+  const Production* GetProduction(const std::string& type) const;
+
+  /// All defined element types, sorted.
+  std::vector<std::string> Types() const;
+
+  /// Checks that the root and all referenced child types are defined.
+  Status Validate() const;
+
+  /// True if some type is (transitively) defined in terms of itself.
+  bool IsRecursive() const;
+
+  /// True if `type` participates in a recursion cycle.
+  bool IsRecursiveType(const std::string& type) const;
+
+  /// Types whose production mentions `type` as a child.
+  std::vector<std::string> ParentTypes(const std::string& type) const;
+
+  /// Reflexive-transitive closure of the child relation from `from`.
+  std::set<std::string> ReachableTypes(const std::string& from) const;
+
+  /// Renders as <!ELEMENT ...> declarations.
+  std::string ToString() const;
+
+ private:
+  std::string root_;
+  std::map<std::string, Production> productions_;
+};
+
+}  // namespace xvu
+
+#endif  // XVU_DTD_DTD_H_

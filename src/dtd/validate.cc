@@ -1,0 +1,170 @@
+#include "src/dtd/validate.h"
+
+#include "src/xpath/normal_form.h"
+
+namespace xvu {
+
+namespace {
+
+/// Child types of `t` in the DTD graph.
+std::vector<std::string> ChildTypes(const Dtd& dtd, const std::string& t) {
+  const Production* p = dtd.GetProduction(t);
+  if (p == nullptr) return {};
+  return p->children;
+}
+
+std::set<std::string> DescOrSelfTypes(const Dtd& dtd,
+                                      const std::set<std::string>& from) {
+  std::set<std::string> out;
+  for (const std::string& t : from) {
+    std::set<std::string> r = dtd.ReachableTypes(t);
+    out.insert(r.begin(), r.end());
+  }
+  return out;
+}
+
+/// Whether filter `q` is statically satisfiable at a node of type `t`.
+/// Three-valued collapsed to "possible": value comparisons and negations
+/// are treated as possible unless structurally impossible.
+bool FilterPossible(const Dtd& dtd, const FilterExpr& q, const std::string& t);
+
+/// Whether the relative path `p` can match anything starting at type `t`.
+bool PathPossible(const Dtd& dtd, const NormalPath& p, size_t step,
+                  const std::string& t) {
+  if (step == p.steps.size()) return true;
+  const NormalStep& s = p.steps[step];
+  switch (s.kind) {
+    case NormalStep::Kind::kFilter:
+      if (!FilterPossible(dtd, *s.filter, t)) return false;
+      return PathPossible(dtd, p, step + 1, t);
+    case NormalStep::Kind::kLabel: {
+      for (const std::string& c : ChildTypes(dtd, t)) {
+        if (c == s.label && PathPossible(dtd, p, step + 1, c)) return true;
+      }
+      return false;
+    }
+    case NormalStep::Kind::kWildcard: {
+      for (const std::string& c : ChildTypes(dtd, t)) {
+        if (PathPossible(dtd, p, step + 1, c)) return true;
+      }
+      return false;
+    }
+    case NormalStep::Kind::kDescOrSelf: {
+      for (const std::string& d : dtd.ReachableTypes(t)) {
+        if (PathPossible(dtd, p, step + 1, d)) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+bool FilterPossible(const Dtd& dtd, const FilterExpr& q,
+                    const std::string& t) {
+  switch (q.kind()) {
+    case FilterExpr::Kind::kPath:
+    case FilterExpr::Kind::kPathEq: {
+      NormalPath np = Normalize(q.path());
+      return PathPossible(dtd, np, 0, t);
+    }
+    case FilterExpr::Kind::kLabelEq:
+      return q.label() == t;
+    case FilterExpr::Kind::kAnd:
+      return FilterPossible(dtd, *q.lhs(), t) &&
+             FilterPossible(dtd, *q.rhs(), t);
+    case FilterExpr::Kind::kOr:
+      return FilterPossible(dtd, *q.lhs(), t) ||
+             FilterPossible(dtd, *q.rhs(), t);
+    case FilterExpr::Kind::kNot:
+      // A negation can hold at instance level unless the operand is a
+      // tautology we cannot detect statically; stay conservative.
+      return true;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::set<std::string>> TypesReachedByPath(const Dtd& dtd,
+                                                 const Path& p) {
+  XVU_RETURN_NOT_OK(dtd.Validate());
+  NormalPath np = Normalize(p);
+  std::set<std::string> cur = {dtd.root()};
+  for (const NormalStep& s : np.steps) {
+    std::set<std::string> next;
+    switch (s.kind) {
+      case NormalStep::Kind::kFilter:
+        for (const std::string& t : cur) {
+          if (FilterPossible(dtd, *s.filter, t)) next.insert(t);
+        }
+        break;
+      case NormalStep::Kind::kLabel:
+        for (const std::string& t : cur) {
+          for (const std::string& c : ChildTypes(dtd, t)) {
+            if (c == s.label) next.insert(c);
+          }
+        }
+        break;
+      case NormalStep::Kind::kWildcard:
+        for (const std::string& t : cur) {
+          for (const std::string& c : ChildTypes(dtd, t)) next.insert(c);
+        }
+        break;
+      case NormalStep::Kind::kDescOrSelf:
+        next = DescOrSelfTypes(dtd, cur);
+        break;
+    }
+    cur = std::move(next);
+    if (cur.empty()) break;
+  }
+  return cur;
+}
+
+Status ValidateInsert(const Dtd& dtd, const Path& p,
+                      const std::string& elem_type) {
+  if (!dtd.HasElement(elem_type)) {
+    return Status::Rejected("insert of undefined element type " + elem_type);
+  }
+  XVU_ASSIGN_OR_RETURN(std::set<std::string> targets,
+                       TypesReachedByPath(dtd, p));
+  if (targets.empty()) {
+    return Status::Rejected("XPath cannot reach any element type; insert of " +
+                            elem_type + " rejected at schema level");
+  }
+  for (const std::string& a : targets) {
+    const Production* prod = dtd.GetProduction(a);
+    if (prod->kind != ContentKind::kStar || prod->children[0] != elem_type) {
+      return Status::Rejected(
+          "inserting " + elem_type + " under " + a +
+          " violates the DTD: production is (" + prod->ToString() +
+          "), needs (" + elem_type + "*)");
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateDelete(const Dtd& dtd, const Path& p) {
+  XVU_ASSIGN_OR_RETURN(std::set<std::string> targets,
+                       TypesReachedByPath(dtd, p));
+  if (targets.empty()) {
+    return Status::Rejected(
+        "XPath cannot reach any element type; delete rejected at schema "
+        "level");
+  }
+  for (const std::string& b : targets) {
+    if (b == dtd.root()) {
+      return Status::Rejected("cannot delete the view root");
+    }
+    for (const std::string& a : dtd.ParentTypes(b)) {
+      const Production* prod = dtd.GetProduction(a);
+      if (prod->kind != ContentKind::kStar) {
+        return Status::Rejected(
+            "deleting a " + b + " child of " + a +
+            " violates the DTD: production is (" + prod->ToString() + ")");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xvu

@@ -1,0 +1,40 @@
+#ifndef XVU_DTD_VALIDATE_H_
+#define XVU_DTD_VALIDATE_H_
+
+#include <set>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/dtd/dtd.h"
+#include "src/xpath/ast.h"
+
+namespace xvu {
+
+/// Schema-level evaluation of an XPath expression over a DTD's type graph
+/// (Section 2.4): returns the set of element *types* that instances reached
+/// by `p` may have.
+///
+/// Filters are evaluated conservatively (types are kept unless the filter is
+/// statically unsatisfiable — e.g. a filter path that matches no DTD
+/// structure, or label()=A at a non-A type). Value comparisons are assumed
+/// satisfiable. This makes validation sound: it never rejects an update
+/// that could conform, and runs in O(|p| |D|^2).
+Result<std::set<std::string>> TypesReachedByPath(const Dtd& dtd,
+                                                 const Path& p);
+
+/// Static validation of `insert (elem_type, t) into p` (Section 2.4):
+/// every type A that `p` can reach must have production A -> elem_type*.
+/// Rejected otherwise (inserting under a sequence/alternation/pcdata
+/// production would break DTD conformance).
+Status ValidateInsert(const Dtd& dtd, const Path& p,
+                      const std::string& elem_type);
+
+/// Static validation of `delete p`: every type B that `p` can reach must
+/// only occur under star productions (A -> B*), since removing a child of a
+/// sequence/alternation production would break conformance. The root is
+/// never deletable.
+Status ValidateDelete(const Dtd& dtd, const Path& p);
+
+}  // namespace xvu
+
+#endif  // XVU_DTD_VALIDATE_H_

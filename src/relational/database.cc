@@ -1,0 +1,65 @@
+#include "src/relational/database.h"
+
+namespace xvu {
+
+Status Database::CreateTable(Schema schema) {
+  std::string name = schema.name();
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table " + name + " already exists");
+  }
+  tables_.emplace(name, Table(std::move(schema)));
+  return Status::OK();
+}
+
+Table* Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+const Table* Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) out.push_back(name);
+  return out;
+}
+
+size_t Database::TotalRows() const {
+  size_t n = 0;
+  for (const auto& [_, t] : tables_) n += t.size();
+  return n;
+}
+
+std::string TableOp::ToString() const {
+  return std::string(kind == Kind::kInsert ? "insert " : "delete ") +
+         TupleToString(row) + (kind == Kind::kInsert ? " into " : " from ") +
+         table;
+}
+
+std::string RelationalUpdate::ToString() const {
+  std::string out;
+  for (const TableOp& op : ops) {
+    out += op.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+Status ApplyUpdate(const RelationalUpdate& update, Database* db) {
+  for (const TableOp& op : update.ops) {
+    Table* t = db->GetTable(op.table);
+    if (t == nullptr) return Status::NotFound("table " + op.table);
+    if (op.kind == TableOp::Kind::kInsert) {
+      XVU_RETURN_NOT_OK(t->InsertIfAbsent(op.row));
+    } else {
+      XVU_RETURN_NOT_OK(t->DeleteByKey(t->schema().KeyOf(op.row)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xvu

@@ -1,0 +1,66 @@
+#ifndef XVU_RELATIONAL_DATABASE_H_
+#define XVU_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/relational/table.h"
+
+namespace xvu {
+
+/// A named collection of tables: the relational instance `I` of schema `R`.
+class Database {
+ public:
+  /// Creates an empty table with the given schema.
+  Status CreateTable(Schema schema);
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  /// Returns the table, or nullptr.
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+
+  /// Names of all tables, sorted.
+  std::vector<std::string> TableNames() const;
+
+  /// Total number of live rows across all tables.
+  size_t TotalRows() const;
+
+  /// Deep copy (used by tests and by what-if evaluation during insertion
+  /// translation).
+  Database Clone() const { return *this; }
+
+ private:
+  std::map<std::string, Table> tables_;
+};
+
+/// A single base-table change: insert or delete of a full tuple.
+struct TableOp {
+  enum class Kind { kInsert, kDelete };
+  Kind kind;
+  std::string table;
+  Tuple row;  ///< Full row for inserts; for deletes, the full row too
+              ///< (the key portion identifies it).
+
+  std::string ToString() const;
+};
+
+/// A group update ∆R on the underlying database.
+struct RelationalUpdate {
+  std::vector<TableOp> ops;
+
+  bool empty() const { return ops.empty(); }
+  std::string ToString() const;
+};
+
+/// Applies ∆R to `db`. Inserts use InsertIfAbsent (a group update may
+/// mention the same supporting tuple twice); deletes must hit existing rows.
+Status ApplyUpdate(const RelationalUpdate& update, Database* db);
+
+}  // namespace xvu
+
+#endif  // XVU_RELATIONAL_DATABASE_H_

@@ -1,0 +1,72 @@
+#include "src/relational/schema.h"
+
+#include <cassert>
+
+namespace xvu {
+
+Schema::Schema(std::string name, std::vector<Column> columns,
+               std::vector<std::string> key_columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  key_indices_.reserve(key_columns.size());
+  for (const std::string& kc : key_columns) {
+    size_t idx = ColumnIndex(kc);
+    assert(idx != npos && "key column not present in schema");
+    key_indices_.push_back(idx);
+  }
+}
+
+size_t Schema::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == column) return i;
+  }
+  return npos;
+}
+
+Status Schema::ValidateTuple(const Tuple& t) const {
+  if (t.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(t.size()) + " != schema arity " +
+        std::to_string(columns_.size()) + " for relation " + name_);
+  }
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].is_null()) continue;
+    // A column declared kNull is dynamically typed (accepts any value);
+    // used by materialized view tables whose column types depend on the
+    // defining query.
+    if (columns_[i].type == ValueType::kNull) continue;
+    if (t[i].type() != columns_[i].type) {
+      return Status::InvalidArgument(
+          "column " + columns_[i].name + " of " + name_ + " expects " +
+          ValueTypeName(columns_[i].type) + ", got " +
+          ValueTypeName(t[i].type()));
+    }
+  }
+  return Status::OK();
+}
+
+Tuple Schema::KeyOf(const Tuple& t) const {
+  Tuple key;
+  key.reserve(key_indices_.size());
+  for (size_t idx : key_indices_) key.push_back(t[idx]);
+  return key;
+}
+
+std::string Schema::ToString() const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += ValueTypeName(columns_[i].type);
+    for (size_t k : key_indices_) {
+      if (k == i) {
+        out += " key";
+        break;
+      }
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace xvu

@@ -1,0 +1,63 @@
+#ifndef XVU_RELATIONAL_SCHEMA_H_
+#define XVU_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+
+namespace xvu {
+
+/// A named, typed column. Declaring a column with type kNull makes it
+/// dynamically typed (any value accepted); materialized view tables use
+/// this because their column types depend on the defining query.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kString;
+};
+
+/// Relation schema: ordered columns plus a primary key.
+///
+/// Every base relation in this library has a primary key (the paper's
+/// key-preservation condition of Section 4.1 is defined in terms of them).
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::string name, std::vector<Column> columns,
+         std::vector<std::string> key_columns);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t arity() const { return columns_.size(); }
+
+  /// Indices (into columns()) of the primary-key columns, in declaration
+  /// order.
+  const std::vector<size_t>& key_indices() const { return key_indices_; }
+
+  /// Returns the index of `column`, or npos if absent.
+  size_t ColumnIndex(const std::string& column) const;
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+  bool HasColumn(const std::string& column) const {
+    return ColumnIndex(column) != npos;
+  }
+
+  /// Checks arity and per-column type compatibility (Null allowed anywhere).
+  Status ValidateTuple(const Tuple& t) const;
+
+  /// Projects the primary-key fields out of a full tuple.
+  Tuple KeyOf(const Tuple& t) const;
+
+  /// "name(col1:type [key], ...)"
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::vector<size_t> key_indices_;
+};
+
+}  // namespace xvu
+
+#endif  // XVU_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,431 @@
+#include "src/relational/spj.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/str_util.h"
+
+namespace xvu {
+
+namespace {
+
+/// Hash-join evaluation state: partial bindings over the first k FROM
+/// occurrences.
+struct Binding {
+  std::vector<const Tuple*> rows;
+};
+
+}  // namespace
+
+Result<std::vector<SpjQuery::WitnessedRow>> SpjQuery::EvalWithWitness(
+    const Database& db, const Tuple& params) const {
+  return EvalWithWitnessPinned(db, params, static_cast<size_t>(-1), {});
+}
+
+Result<std::vector<SpjQuery::WitnessedRow>> SpjQuery::EvalWithWitnessPinned(
+    const Database& db, const Tuple& params, size_t pinned_pos,
+    const Tuple& pinned_row) const {
+  if (params.size() < num_params_) {
+    return Status::InvalidArgument("query expects " +
+                                   std::to_string(num_params_) +
+                                   " params, got " +
+                                   std::to_string(params.size()));
+  }
+  std::vector<const Table*> bases;
+  bases.reserve(tables_.size());
+  for (const TableRef& tr : tables_) {
+    const Table* t = db.GetTable(tr.table);
+    if (t == nullptr) return Status::NotFound("table " + tr.table);
+    bases.push_back(t);
+  }
+
+  // Partition conditions by the highest FROM position they mention.
+  std::vector<std::vector<const SpjCondition*>> conds_at(tables_.size());
+  for (const SpjCondition& c : conditions_) {
+    size_t pos = c.lhs.table_pos;
+    if (c.kind == SpjCondition::Kind::kColCol) {
+      pos = std::max(pos, c.rhs.table_pos);
+    }
+    conds_at[pos].push_back(&c);
+  }
+
+  std::vector<Binding> partial = {Binding{}};
+  for (size_t i = 0; i < tables_.size() && !partial.empty(); ++i) {
+    // Split this position's conditions into:
+    //  local: only reference position i (+ consts/params) — filter rows;
+    //  link:  equi-join with an earlier position — drive the hash join.
+    std::vector<const SpjCondition*> local, link;
+    for (const SpjCondition* c : conds_at[i]) {
+      if (c->kind == SpjCondition::Kind::kColCol &&
+          c->lhs.table_pos != c->rhs.table_pos) {
+        link.push_back(c);
+      } else {
+        local.push_back(c);
+      }
+    }
+    auto row_passes_local = [&](const Tuple& row) {
+      for (const SpjCondition* c : local) {
+        const Value& l = row[c->lhs.col_idx];
+        switch (c->kind) {
+          case SpjCondition::Kind::kColCol:
+            if (l != row[c->rhs.col_idx]) return false;
+            break;
+          case SpjCondition::Kind::kColConst:
+            if (l != c->constant) return false;
+            break;
+          case SpjCondition::Kind::kColParam:
+            if (l != params[c->param_idx]) return false;
+            break;
+        }
+      }
+      return true;
+    };
+
+    // Candidate enumeration for this occurrence (all rows, or just the
+    // pinned one for delta joins).
+    auto for_each_candidate = [&](auto&& fn) {
+      if (i == pinned_pos) {
+        fn(pinned_row);
+      } else {
+        bases[i]->ForEach(fn);
+      }
+    };
+
+    std::vector<Binding> next;
+    if (link.empty()) {
+      // Cross product with the locally filtered rows.
+      std::vector<const Tuple*> filtered;
+      for_each_candidate([&](const Tuple& row) {
+        if (row_passes_local(row)) filtered.push_back(&row);
+      });
+      next.reserve(partial.size() * filtered.size());
+      for (const Binding& b : partial) {
+        for (const Tuple* r : filtered) {
+          Binding nb = b;
+          nb.rows.push_back(r);
+          next.push_back(std::move(nb));
+        }
+      }
+    } else {
+      // Hash the new table's rows on the join columns touching position i.
+      // Each link condition has one side at position i and one earlier.
+      std::vector<size_t> my_cols, other_pos, other_cols;
+      for (const SpjCondition* c : link) {
+        if (c->lhs.table_pos == i) {
+          my_cols.push_back(c->lhs.col_idx);
+          other_pos.push_back(c->rhs.table_pos);
+          other_cols.push_back(c->rhs.col_idx);
+        } else {
+          my_cols.push_back(c->rhs.col_idx);
+          other_pos.push_back(c->lhs.table_pos);
+          other_cols.push_back(c->lhs.col_idx);
+        }
+      }
+      std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> index;
+      for_each_candidate([&](const Tuple& row) {
+        if (!row_passes_local(row)) return;
+        Tuple key;
+        key.reserve(my_cols.size());
+        for (size_t c : my_cols) key.push_back(row[c]);
+        index[std::move(key)].push_back(&row);
+      });
+      for (const Binding& b : partial) {
+        Tuple key;
+        key.reserve(other_cols.size());
+        for (size_t k = 0; k < other_cols.size(); ++k) {
+          key.push_back((*b.rows[other_pos[k]])[other_cols[k]]);
+        }
+        auto it = index.find(key);
+        if (it == index.end()) continue;
+        for (const Tuple* r : it->second) {
+          Binding nb = b;
+          nb.rows.push_back(r);
+          next.push_back(std::move(nb));
+        }
+      }
+    }
+    partial = std::move(next);
+  }
+
+  std::vector<WitnessedRow> out;
+  out.reserve(partial.size());
+  for (const Binding& b : partial) {
+    WitnessedRow wr;
+    wr.projected.reserve(outputs_.size());
+    for (const SpjOutput& o : outputs_) {
+      wr.projected.push_back((*b.rows[o.ref.table_pos])[o.ref.col_idx]);
+    }
+    wr.sources.reserve(b.rows.size());
+    for (const Tuple* r : b.rows) wr.sources.push_back(*r);
+    out.push_back(std::move(wr));
+  }
+  return out;
+}
+
+Result<std::unordered_map<Tuple, std::vector<SpjQuery::WitnessedRow>,
+                          TupleHash>>
+SpjQuery::EvalGroupedByParams(const Database& db) const {
+  return EvalGroupedByParamsPinned(db, static_cast<size_t>(-1), {});
+}
+
+Result<std::unordered_map<Tuple, std::vector<SpjQuery::WitnessedRow>,
+                          TupleHash>>
+SpjQuery::EvalGroupedByParamsPinned(const Database& db, size_t pinned_pos,
+                                    const Tuple& pinned_row) const {
+  // Build the param-free variant: strip kColParam predicates, remember
+  // which column realizes each parameter (extra predicates on the same
+  // parameter become post-join equality filters).
+  SpjQuery q = *this;
+  q.conditions_.clear();
+  q.num_params_ = 0;
+  std::vector<SpjColRef> param_col(num_params_, SpjColRef{SIZE_MAX, 0});
+  for (const SpjCondition& c : conditions_) {
+    if (c.kind != SpjCondition::Kind::kColParam) {
+      q.conditions_.push_back(c);
+      continue;
+    }
+    if (param_col[c.param_idx].table_pos == SIZE_MAX) {
+      param_col[c.param_idx] = c.lhs;
+    } else {
+      // Two columns bound to the same parameter are transitively equal:
+      // keep that as an explicit equi-join, otherwise dropping the
+      // parameter predicates can degrade the join into a cross product
+      // (e.g. k.k1=$0 ∧ g.grp=$0 implies k.k1 = g.grp).
+      SpjCondition join;
+      join.kind = SpjCondition::Kind::kColCol;
+      join.lhs = param_col[c.param_idx];
+      join.rhs = c.lhs;
+      q.conditions_.push_back(join);
+    }
+  }
+  for (size_t p = 0; p < num_params_; ++p) {
+    if (param_col[p].table_pos == SIZE_MAX) {
+      return Status::InvalidArgument(
+          "parameter $" + std::to_string(p) +
+          " is not bound by any condition; cannot group");
+    }
+  }
+  XVU_ASSIGN_OR_RETURN(
+      std::vector<WitnessedRow> rows,
+      q.EvalWithWitnessPinned(db, {}, pinned_pos, pinned_row));
+  std::unordered_map<Tuple, std::vector<WitnessedRow>, TupleHash> grouped;
+  for (WitnessedRow& wr : rows) {
+    Tuple key;
+    key.reserve(num_params_);
+    for (size_t p = 0; p < num_params_; ++p) {
+      key.push_back(wr.sources[param_col[p].table_pos][param_col[p].col_idx]);
+    }
+    grouped[std::move(key)].push_back(std::move(wr));
+  }
+  return grouped;
+}
+
+Result<std::vector<Tuple>> SpjQuery::Eval(const Database& db,
+                                          const Tuple& params) const {
+  XVU_ASSIGN_OR_RETURN(std::vector<WitnessedRow> rows,
+                       EvalWithWitness(db, params));
+  std::unordered_set<Tuple, TupleHash> seen;
+  std::vector<Tuple> out;
+  out.reserve(rows.size());
+  for (WitnessedRow& wr : rows) {
+    if (seen.insert(wr.projected).second) {
+      out.push_back(std::move(wr.projected));
+    }
+  }
+  return out;
+}
+
+bool SpjQuery::IsKeyPreserving(const Database& db) const {
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    const Table* t = db.GetTable(tables_[i].table);
+    if (t == nullptr) return false;
+    for (size_t key_col : t->schema().key_indices()) {
+      bool found = false;
+      for (const SpjOutput& o : outputs_) {
+        if (o.ref.table_pos == i && o.ref.col_idx == key_col) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+  }
+  return true;
+}
+
+SpjQuery SpjQuery::WithKeyPreservation(const Database& db) const {
+  SpjQuery q = *this;
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    const Table* t = db.GetTable(tables_[i].table);
+    if (t == nullptr) continue;
+    for (size_t key_col : t->schema().key_indices()) {
+      bool found = false;
+      for (const SpjOutput& o : q.outputs_) {
+        if (o.ref.table_pos == i && o.ref.col_idx == key_col) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        q.outputs_.push_back(SpjOutput{
+            SpjColRef{i, key_col},
+            tables_[i].alias + "__" + t->schema().columns()[key_col].name});
+      }
+    }
+  }
+  return q;
+}
+
+Result<std::vector<std::vector<size_t>>> SpjQuery::KeyOutputPositions(
+    const Database& db) const {
+  std::vector<std::vector<size_t>> out(tables_.size());
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    const Table* t = db.GetTable(tables_[i].table);
+    if (t == nullptr) return Status::NotFound("table " + tables_[i].table);
+    for (size_t key_col : t->schema().key_indices()) {
+      size_t pos = Schema::npos;
+      for (size_t j = 0; j < outputs_.size(); ++j) {
+        if (outputs_[j].ref.table_pos == i &&
+            outputs_[j].ref.col_idx == key_col) {
+          pos = j;
+          break;
+        }
+      }
+      if (pos == Schema::npos) {
+        return Status::InvalidArgument(
+            "query is not key-preserving: key column " +
+            t->schema().columns()[key_col].name + " of " + tables_[i].alias +
+            " not projected");
+      }
+      out[i].push_back(pos);
+    }
+  }
+  return out;
+}
+
+std::string SpjQuery::ToString() const {
+  std::vector<std::string> sel, from, where;
+  for (const SpjOutput& o : outputs_) {
+    sel.push_back(tables_[o.ref.table_pos].alias + ".c" +
+                  std::to_string(o.ref.col_idx) + " as " + o.name);
+  }
+  for (const TableRef& t : tables_) from.push_back(t.table + " " + t.alias);
+  for (const SpjCondition& c : conditions_) {
+    std::string lhs = tables_[c.lhs.table_pos].alias + ".c" +
+                      std::to_string(c.lhs.col_idx);
+    switch (c.kind) {
+      case SpjCondition::Kind::kColCol:
+        where.push_back(lhs + " = " + tables_[c.rhs.table_pos].alias + ".c" +
+                        std::to_string(c.rhs.col_idx));
+        break;
+      case SpjCondition::Kind::kColConst:
+        where.push_back(lhs + " = " + c.constant.ToString());
+        break;
+      case SpjCondition::Kind::kColParam:
+        where.push_back(lhs + " = $" + std::to_string(c.param_idx));
+        break;
+    }
+  }
+  return "select " + Join(sel, ", ") + " from " + Join(from, ", ") +
+         (where.empty() ? "" : " where " + Join(where, " and "));
+}
+
+SpjQueryBuilder& SpjQueryBuilder::From(const std::string& table,
+                                       const std::string& alias) {
+  if (!error_.ok()) return *this;
+  if (catalog_->GetTable(table) == nullptr) {
+    error_ = Status::NotFound("table " + table);
+    return *this;
+  }
+  for (const auto& t : q_.tables_) {
+    if (t.alias == alias) {
+      error_ = Status::InvalidArgument("duplicate alias " + alias);
+      return *this;
+    }
+  }
+  q_.tables_.push_back(SpjQuery::TableRef{table, alias});
+  return *this;
+}
+
+Result<SpjColRef> SpjQueryBuilder::Resolve(const std::string& qualified) {
+  auto dot = qualified.find('.');
+  if (dot == std::string::npos) {
+    return Status::InvalidArgument("expected alias.column, got " + qualified);
+  }
+  std::string alias = qualified.substr(0, dot);
+  std::string col = qualified.substr(dot + 1);
+  for (size_t i = 0; i < q_.tables_.size(); ++i) {
+    if (q_.tables_[i].alias != alias) continue;
+    const Table* t = catalog_->GetTable(q_.tables_[i].table);
+    size_t ci = t->schema().ColumnIndex(col);
+    if (ci == Schema::npos) {
+      return Status::NotFound("column " + col + " of " + q_.tables_[i].table);
+    }
+    return SpjColRef{i, ci};
+  }
+  return Status::NotFound("alias " + alias);
+}
+
+SpjQueryBuilder& SpjQueryBuilder::WhereEq(const std::string& lhs,
+                                          const std::string& rhs) {
+  if (!error_.ok()) return *this;
+  auto l = Resolve(lhs);
+  auto r = Resolve(rhs);
+  if (!l.ok()) { error_ = l.status(); return *this; }
+  if (!r.ok()) { error_ = r.status(); return *this; }
+  SpjCondition c;
+  c.kind = SpjCondition::Kind::kColCol;
+  c.lhs = *l;
+  c.rhs = *r;
+  q_.conditions_.push_back(c);
+  return *this;
+}
+
+SpjQueryBuilder& SpjQueryBuilder::WhereConst(const std::string& lhs, Value v) {
+  if (!error_.ok()) return *this;
+  auto l = Resolve(lhs);
+  if (!l.ok()) { error_ = l.status(); return *this; }
+  SpjCondition c;
+  c.kind = SpjCondition::Kind::kColConst;
+  c.lhs = *l;
+  c.constant = std::move(v);
+  q_.conditions_.push_back(c);
+  return *this;
+}
+
+SpjQueryBuilder& SpjQueryBuilder::WhereParam(const std::string& lhs,
+                                             size_t param_idx) {
+  if (!error_.ok()) return *this;
+  auto l = Resolve(lhs);
+  if (!l.ok()) { error_ = l.status(); return *this; }
+  SpjCondition c;
+  c.kind = SpjCondition::Kind::kColParam;
+  c.lhs = *l;
+  c.param_idx = param_idx;
+  q_.conditions_.push_back(c);
+  q_.num_params_ = std::max(q_.num_params_, param_idx + 1);
+  return *this;
+}
+
+SpjQueryBuilder& SpjQueryBuilder::Select(const std::string& col,
+                                         const std::string& as) {
+  if (!error_.ok()) return *this;
+  auto l = Resolve(col);
+  if (!l.ok()) { error_ = l.status(); return *this; }
+  q_.outputs_.push_back(SpjOutput{*l, as});
+  return *this;
+}
+
+Result<SpjQuery> SpjQueryBuilder::Build() {
+  if (!error_.ok()) return error_;
+  if (q_.tables_.empty()) {
+    return Status::InvalidArgument("query has no FROM tables");
+  }
+  if (q_.outputs_.empty()) {
+    return Status::InvalidArgument("query has no projection");
+  }
+  return q_;
+}
+
+}  // namespace xvu

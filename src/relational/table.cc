@@ -1,0 +1,82 @@
+#include "src/relational/table.h"
+
+namespace xvu {
+
+Status Table::Insert(Tuple row) {
+  XVU_RETURN_NOT_OK(schema_.ValidateTuple(row));
+  Tuple key = schema_.KeyOf(row);
+  auto it = pk_index_.find(key);
+  if (it != pk_index_.end()) {
+    return Status::AlreadyExists("duplicate key " + TupleToString(key) +
+                                 " in " + schema_.name());
+  }
+  rows_.push_back(std::move(row));
+  dead_.push_back(0);
+  pk_index_.emplace(std::move(key), rows_.size() - 1);
+  ++live_count_;
+  return Status::OK();
+}
+
+Status Table::InsertIfAbsent(const Tuple& row) {
+  XVU_RETURN_NOT_OK(schema_.ValidateTuple(row));
+  Tuple key = schema_.KeyOf(row);
+  auto it = pk_index_.find(key);
+  if (it != pk_index_.end()) {
+    if (rows_[it->second] == row) return Status::OK();
+    return Status::AlreadyExists(
+        "key " + TupleToString(key) + " in " + schema_.name() +
+        " exists with a different payload");
+  }
+  return Insert(row);
+}
+
+Status Table::DeleteByKey(const Tuple& key) {
+  auto it = pk_index_.find(key);
+  if (it == pk_index_.end()) {
+    return Status::NotFound("key " + TupleToString(key) + " not in " +
+                            schema_.name());
+  }
+  dead_[it->second] = 1;
+  pk_index_.erase(it);
+  --live_count_;
+  MaybeCompact();
+  return Status::OK();
+}
+
+const Tuple* Table::FindByKey(const Tuple& key) const {
+  auto it = pk_index_.find(key);
+  if (it == pk_index_.end()) return nullptr;
+  return &rows_[it->second];
+}
+
+std::vector<Tuple> Table::Rows() const {
+  std::vector<Tuple> out;
+  out.reserve(live_count_);
+  ForEach([&](const Tuple& t) { out.push_back(t); });
+  return out;
+}
+
+void Table::Clear() {
+  rows_.clear();
+  dead_.clear();
+  pk_index_.clear();
+  live_count_ = 0;
+}
+
+void Table::MaybeCompact() {
+  // Compact when more than half of the slots are tombstones.
+  if (rows_.empty() || live_count_ * 2 > rows_.size()) return;
+  std::vector<Tuple> fresh;
+  fresh.reserve(live_count_);
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (!dead_[i]) fresh.push_back(std::move(rows_[i]));
+  }
+  rows_ = std::move(fresh);
+  dead_.assign(rows_.size(), 0);
+  pk_index_.clear();
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    pk_index_.emplace(schema_.KeyOf(rows_[i]), i);
+  }
+}
+
+}  // namespace xvu

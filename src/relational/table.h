@@ -1,0 +1,76 @@
+#ifndef XVU_RELATIONAL_TABLE_H_
+#define XVU_RELATIONAL_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+#include "src/relational/schema.h"
+
+namespace xvu {
+
+/// An in-memory relation with a primary-key hash index.
+///
+/// Rows live in a vector; deleted slots are tombstoned and compacted
+/// lazily so row handles held by scans stay valid within a statement.
+/// The PK index enforces key uniqueness, which the view-update algorithms
+/// of Section 4 rely on (Sr(Q, t) lookups resolve a *unique* source tuple).
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  /// Number of live rows.
+  size_t size() const { return live_count_; }
+  bool empty() const { return live_count_ == 0; }
+
+  /// Inserts a row; fails with AlreadyExists on a duplicate primary key and
+  /// InvalidArgument on schema mismatch.
+  Status Insert(Tuple row);
+
+  /// Inserts, or returns OK without change if an identical row (same key,
+  /// same payload) exists. Fails with AlreadyExists if a row with the same
+  /// key but different payload exists.
+  Status InsertIfAbsent(const Tuple& row);
+
+  /// Deletes the row with the given primary key. NotFound if absent.
+  Status DeleteByKey(const Tuple& key);
+
+  /// Returns the row with the given primary key, or nullptr.
+  const Tuple* FindByKey(const Tuple& key) const;
+
+  bool ContainsKey(const Tuple& key) const {
+    return FindByKey(key) != nullptr;
+  }
+
+  /// Invokes fn(row) for every live row.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (!dead_[i]) fn(rows_[i]);
+    }
+  }
+
+  /// Materializes live rows (copy).
+  std::vector<Tuple> Rows() const;
+
+  /// Removes all rows.
+  void Clear();
+
+ private:
+  void MaybeCompact();
+
+  Schema schema_;
+  std::vector<Tuple> rows_;
+  std::vector<uint8_t> dead_;
+  std::unordered_map<Tuple, size_t, TupleHash> pk_index_;
+  size_t live_count_ = 0;
+};
+
+}  // namespace xvu
+
+#endif  // XVU_RELATIONAL_TABLE_H_

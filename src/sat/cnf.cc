@@ -1,0 +1,38 @@
+#include "src/sat/cnf.h"
+
+namespace xvu {
+
+void Cnf::AddClause(std::vector<Lit> lits) {
+  clauses_.push_back(std::move(lits));
+}
+
+bool Cnf::IsSatisfiedBy(const std::vector<bool>& assign) const {
+  for (const auto& clause : clauses_) {
+    bool sat = false;
+    for (Lit l : clause) {
+      int32_t v = VarOf(l);
+      if (v < static_cast<int32_t>(assign.size()) &&
+          assign[v] == SignOf(l)) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+std::string Cnf::ToDimacs() const {
+  std::string out = "p cnf " + std::to_string(num_vars_) + " " +
+                    std::to_string(clauses_.size()) + "\n";
+  for (const auto& clause : clauses_) {
+    for (Lit l : clause) {
+      out += std::to_string(l);
+      out += " ";
+    }
+    out += "0\n";
+  }
+  return out;
+}
+
+}  // namespace xvu

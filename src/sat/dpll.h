@@ -1,0 +1,17 @@
+#ifndef XVU_SAT_DPLL_H_
+#define XVU_SAT_DPLL_H_
+
+#include "src/sat/cnf.h"
+
+namespace xvu {
+
+/// Complete DPLL solver with unit propagation and pure-literal
+/// elimination. Exponential worst case; used as the correctness oracle for
+/// WalkSAT and as an exact fallback for small insertion encodings.
+///
+/// Returns kSat with a model, or kUnsat; never kUnknown.
+SatResult SolveDpll(const Cnf& cnf);
+
+}  // namespace xvu
+
+#endif  // XVU_SAT_DPLL_H_

@@ -1,0 +1,98 @@
+#include "src/sat/encoder.h"
+
+#include <algorithm>
+
+namespace xvu {
+
+Lit FiniteDomainEncoder::True() {
+  if (true_lit_ == 0) {
+    true_lit_ = cnf_.NewVar();
+    cnf_.AddUnit(true_lit_);
+  }
+  return true_lit_;
+}
+
+FiniteDomainEncoder::VarId FiniteDomainEncoder::AddVar(
+    std::vector<Value> domain) {
+  VarId id = domains_.size();
+  std::vector<Lit> sel;
+  if (domain.size() == 1) {
+    sel.push_back(True());
+  } else if (domain.size() == 2) {
+    Lit p = cnf_.NewVar();
+    sel.push_back(p);
+    sel.push_back(-p);
+  } else {
+    sel.reserve(domain.size());
+    for (size_t i = 0; i < domain.size(); ++i) sel.push_back(cnf_.NewVar());
+    // At least one...
+    cnf_.AddClause(sel);
+    // ...and at most one.
+    for (size_t i = 0; i < sel.size(); ++i) {
+      for (size_t j = i + 1; j < sel.size(); ++j) {
+        cnf_.AddBinary(-sel[i], -sel[j]);
+      }
+    }
+  }
+  domains_.push_back(std::move(domain));
+  selectors_.push_back(std::move(sel));
+  return id;
+}
+
+Lit FiniteDomainEncoder::EqConst(VarId v, const Value& c) {
+  const auto& dom = domains_[v];
+  auto it = std::find(dom.begin(), dom.end(), c);
+  if (it == dom.end()) return False();
+  return selectors_[v][static_cast<size_t>(it - dom.begin())];
+}
+
+Lit FiniteDomainEncoder::EqVar(VarId x, VarId y) {
+  if (x == y) return True();
+  auto key = std::minmax(x, y);
+  auto cached = eq_cache_.find({key.first, key.second});
+  if (cached != eq_cache_.end()) return cached->second;
+
+  Lit a = cnf_.NewVar();
+  std::vector<Lit> any;  // b_c literals: x=c ∧ y=c
+  for (const Value& c : domains_[x]) {
+    Lit lx = EqConst(x, c);
+    Lit ly = EqConst(y, c);
+    if (ly == False()) continue;  // c not in y's domain
+    Lit b = cnf_.NewVar();
+    // b -> lx, b -> ly, (lx ∧ ly) -> b
+    cnf_.AddBinary(-b, lx);
+    cnf_.AddBinary(-b, ly);
+    cnf_.AddTernary(b, -lx, -ly);
+    any.push_back(b);
+  }
+  if (any.empty()) {
+    // Disjoint domains: a is constant false.
+    cnf_.AddUnit(-a);
+  } else {
+    // a <-> (b_1 ∨ ... ∨ b_m)
+    std::vector<Lit> clause = {-a};
+    clause.insert(clause.end(), any.begin(), any.end());
+    cnf_.AddClause(std::move(clause));
+    for (Lit b : any) cnf_.AddBinary(a, -b);
+  }
+  eq_cache_.emplace(std::make_pair(key.first, key.second), a);
+  return a;
+}
+
+Result<Value> FiniteDomainEncoder::Decode(
+    VarId v, const std::vector<bool>& model) const {
+  const auto& dom = domains_[v];
+  const auto& sel = selectors_[v];
+  for (size_t i = 0; i < dom.size(); ++i) {
+    Lit l = sel[i];
+    int32_t var = VarOf(l);
+    if (var < static_cast<int32_t>(model.size()) &&
+        model[static_cast<size_t>(var)] == SignOf(l)) {
+      return dom[i];
+    }
+  }
+  return Status::Internal("no selector true for finite-domain variable " +
+                          std::to_string(v));
+}
+
+}  // namespace xvu

@@ -1,0 +1,65 @@
+#ifndef XVU_SAT_ENCODER_H_
+#define XVU_SAT_ENCODER_H_
+
+#include <map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+#include "src/sat/cnf.h"
+
+namespace xvu {
+
+/// Encodes finite-domain variables (e.g. the Boolean columns of tuple
+/// templates in Section 4.3 / Appendix A) into propositional logic:
+///
+///   - domain {c1, c2}: one propositional variable (p ≡ x=c1, ¬p ≡ x=c2);
+///   - domain {c1..ck}, k>2: one-hot — propositional p_i ≡ (x = c_i) with
+///     at-least-one and pairwise at-most-one clauses (the paper's
+///     "x = c1 ∨ ... ∨ x = ck" plus "(¬p ∨ ¬p')" conjuncts);
+///   - equality atoms between two variables are Tseitin-encoded:
+///     a ≡ ⋁_c (x=c ∧ y=c).
+class FiniteDomainEncoder {
+ public:
+  using VarId = size_t;
+
+  /// Registers a variable with the given (non-empty, duplicate-free)
+  /// domain.
+  VarId AddVar(std::vector<Value> domain);
+
+  size_t num_vars() const { return domains_.size(); }
+  const std::vector<Value>& Domain(VarId v) const { return domains_[v]; }
+
+  /// Literal that is true iff variable v equals `c`. If `c` is not in v's
+  /// domain, returns the constant-false literal.
+  Lit EqConst(VarId v, const Value& c);
+
+  /// Literal (a Tseitin auxiliary) that is true iff variables x and y are
+  /// equal.
+  Lit EqVar(VarId x, VarId y);
+
+  /// A literal that is always true (resp. false).
+  Lit True();
+  Lit False() { return -True(); }
+
+  /// Adds a clause over literals produced above.
+  void AddClause(std::vector<Lit> clause) { cnf_.AddClause(std::move(clause)); }
+
+  Cnf& cnf() { return cnf_; }
+  const Cnf& cnf() const { return cnf_; }
+
+  /// Reads back variable v's value from a model.
+  Result<Value> Decode(VarId v, const std::vector<bool>& model) const;
+
+ private:
+  Cnf cnf_;
+  std::vector<std::vector<Value>> domains_;
+  /// Per variable: selector literals, one per domain value.
+  std::vector<std::vector<Lit>> selectors_;
+  std::map<std::pair<VarId, VarId>, Lit> eq_cache_;
+  Lit true_lit_ = 0;
+};
+
+}  // namespace xvu
+
+#endif  // XVU_SAT_ENCODER_H_

@@ -1,0 +1,28 @@
+#ifndef XVU_SAT_WALKSAT_H_
+#define XVU_SAT_WALKSAT_H_
+
+#include <cstdint>
+
+#include "src/sat/cnf.h"
+
+namespace xvu {
+
+/// Parameters of the WalkSAT local-search solver (Selman & Kautz [30] of
+/// the paper), which the insertion-translation algorithm of Section 4.3
+/// invokes on its side-effect encoding.
+struct WalkSatOptions {
+  uint32_t max_tries = 10;      ///< random restarts
+  uint32_t max_flips = 100000;  ///< flips per try
+  double noise = 0.5;           ///< probability of a random-walk move
+  uint64_t seed = 42;
+};
+
+/// Runs WalkSAT. Returns kSat with a model, or kUnknown after exhausting
+/// the flip budget (WalkSAT is incomplete: it can never prove unsat —
+/// the paper reports the solver returning an assignment in 78% of its
+/// insertion workload).
+SatResult SolveWalkSat(const Cnf& cnf, const WalkSatOptions& options = {});
+
+}  // namespace xvu
+
+#endif  // XVU_SAT_WALKSAT_H_

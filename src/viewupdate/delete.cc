@@ -1,0 +1,111 @@
+#include "src/viewupdate/delete.h"
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace xvu {
+
+std::vector<SourceRef> DeletableSource(const EdgeViewInfo& info,
+                                       const Tuple& row) {
+  std::vector<SourceRef> out;
+  out.reserve(info.key_positions.size());
+  for (size_t i = 0; i < info.key_positions.size(); ++i) {
+    SourceRef ref;
+    ref.table = info.rule.tables()[i].table;
+    ref.key.reserve(info.key_positions[i].size());
+    for (size_t pos : info.key_positions[i]) {
+      // Rule outputs start at offset 2 of the extended view row
+      // (parent_id, child_id, o0...).
+      ref.key.push_back(row[2 + pos]);
+    }
+    out.push_back(std::move(ref));
+  }
+  return out;
+}
+
+namespace {
+
+struct SourceRefHash {
+  size_t operator()(const SourceRef& s) const {
+    return std::hash<std::string>()(s.table) * 1315423911u ^
+           TupleHash()(s.key);
+  }
+};
+
+}  // namespace
+
+Result<RelationalUpdate> TranslateGroupDeletion(
+    const ViewStore& store, const Database& base,
+    const std::vector<ViewRowOp>& deletions) {
+  // Index the ∆V rows per view for membership tests.
+  std::unordered_map<std::string, std::unordered_set<Tuple, TupleHash>>
+      dv_rows;
+  for (const ViewRowOp& op : deletions) {
+    if (store.GetEdgeView(op.view_name) == nullptr) {
+      return Status::NotFound("edge view " + op.view_name);
+    }
+    dv_rows[op.view_name].insert(op.row);
+  }
+
+  // `pinned` = base tuples in the deletable source of some view row that
+  // must remain (Fig.9 lines 4-5). One scan over all materialized views.
+  std::unordered_set<SourceRef, SourceRefHash> pinned;
+  for (const std::string& name : store.EdgeViewNames()) {
+    const EdgeViewInfo* info = store.GetEdgeView(name);
+    const Table* vt = store.db().GetTable(name);
+    if (vt == nullptr) continue;
+    const auto* dv = dv_rows.count(name) > 0 ? &dv_rows[name] : nullptr;
+    vt->ForEach([&](const Tuple& row) {
+      if (dv != nullptr && dv->count(row) > 0) return;  // to be deleted
+      for (SourceRef& s : DeletableSource(*info, row)) {
+        pinned.insert(std::move(s));
+      }
+    });
+  }
+
+  // Fig.9 lines 6-9: pick, for every ∆V row, a source tuple that no
+  // remaining view row depends on.
+  RelationalUpdate dr;
+  std::unordered_set<SourceRef, SourceRefHash> chosen;
+  for (const ViewRowOp& op : deletions) {
+    const EdgeViewInfo* info = store.GetEdgeView(op.view_name);
+    std::vector<SourceRef> sources = DeletableSource(*info, op.row);
+    // Covered for free when a source is already scheduled for deletion by
+    // an earlier ∆V row.
+    bool covered = false;
+    for (const SourceRef& s : sources) {
+      if (chosen.count(s) > 0) {
+        covered = true;
+        break;
+      }
+    }
+    if (covered) continue;
+    const SourceRef* pick = nullptr;
+    for (const SourceRef& s : sources) {
+      if (pinned.count(s) == 0) {
+        pick = &s;
+        break;
+      }
+    }
+    if (pick == nullptr) {
+      return Status::Rejected(
+          "view deletion of " + TupleToString(op.row) + " from " +
+          op.view_name +
+          " is untranslatable: every source tuple is shared with a "
+          "remaining view row (side effects)");
+    }
+    const Table* t = base.GetTable(pick->table);
+    if (t == nullptr) return Status::NotFound("table " + pick->table);
+    const Tuple* full = t->FindByKey(pick->key);
+    if (full == nullptr) {
+      return Status::Internal("source tuple " + pick->ToString() +
+                              " vanished from base table");
+    }
+    dr.ops.push_back(TableOp{TableOp::Kind::kDelete, pick->table, *full});
+    chosen.insert(*pick);
+  }
+  return dr;
+}
+
+}  // namespace xvu

@@ -1,0 +1,56 @@
+#ifndef XVU_VIEWUPDATE_DELETE_H_
+#define XVU_VIEWUPDATE_DELETE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/relational/database.h"
+#include "src/viewupdate/view_store.h"
+
+namespace xvu {
+
+/// One element of a group view update ∆V: a full (extended) edge-view row.
+struct ViewRowOp {
+  std::string view_name;
+  Tuple row;  ///< (parent_id, child_id, rule outputs...)
+};
+
+/// A (table, primary key) reference to a base tuple — an element of the
+/// deletable source Sr(Q, t) of Section 4.2.
+struct SourceRef {
+  std::string table;
+  Tuple key;
+
+  bool operator==(const SourceRef& o) const {
+    return table == o.table && key == o.key;
+  }
+  bool operator<(const SourceRef& o) const {
+    return table != o.table ? table < o.table : key < o.key;
+  }
+  std::string ToString() const { return table + TupleToString(key); }
+};
+
+/// Computes the deletable source Sr(Q, t) of a view row: for every FROM
+/// occurrence of the view's rule, the unique base tuple identified by the
+/// key columns embedded in `t` (key preservation makes these present and
+/// unique).
+std::vector<SourceRef> DeletableSource(const EdgeViewInfo& info,
+                                       const Tuple& row);
+
+/// Algorithm delete (Fig.9): translates a group view deletion ∆V into a
+/// group of base-table deletions ∆R, in PTIME (Theorem 1).
+///
+/// A base tuple (Sj, tj) may be deleted iff it is not in the deletable
+/// source of any view row that remains after ∆V; each ∆V row needs at
+/// least one such tuple, otherwise the whole group is Rejected.
+///
+/// The returned ∆R is deduplicated (deleting one source tuple may serve
+/// several ∆V rows).
+Result<RelationalUpdate> TranslateGroupDeletion(
+    const ViewStore& store, const Database& base,
+    const std::vector<ViewRowOp>& deletions);
+
+}  // namespace xvu
+
+#endif  // XVU_VIEWUPDATE_DELETE_H_

@@ -1,0 +1,842 @@
+#include "src/viewupdate/insert.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/sat/dpll.h"
+#include "src/sat/encoder.h"
+
+namespace xvu {
+
+namespace {
+
+constexpr size_t kNoClass = static_cast<size_t>(-1);
+
+/// A symbolic value: either a concrete Value or an equivalence class of
+/// unknowns (Appendix A's variables z).
+struct Sym {
+  Value value;          ///< meaningful when cls == kNoClass
+  size_t cls = kNoClass;
+
+  bool concrete() const { return cls == kNoClass; }
+};
+
+/// Union-find over unknown classes, with optional constant binding and the
+/// column type (for finite/infinite domain classification).
+class ClassMgr {
+ public:
+  size_t NewClass(ValueType type) {
+    parent_.push_back(parent_.size());
+    bound_.push_back(Value::Null());
+    type_.push_back(type);
+    return parent_.size() - 1;
+  }
+
+  size_t Find(size_t c) {
+    while (parent_[c] != c) {
+      parent_[c] = parent_[parent_[c]];
+      c = parent_[c];
+    }
+    return c;
+  }
+
+  bool IsBound(size_t c) { return !bound_[Find(c)].is_null(); }
+  const Value& BoundValue(size_t c) { return bound_[Find(c)]; }
+  ValueType TypeOf(size_t c) { return type_[Find(c)]; }
+
+  Status Bind(size_t c, const Value& v) {
+    c = Find(c);
+    if (!bound_[c].is_null()) {
+      if (bound_[c] != v) {
+        return Status::Rejected("conflicting values " +
+                                bound_[c].ToString() + " vs " + v.ToString() +
+                                " required for the same unknown");
+      }
+      return Status::OK();
+    }
+    bound_[c] = v;
+    return Status::OK();
+  }
+
+  Status Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return Status::OK();
+    if (!bound_[a].is_null() && !bound_[b].is_null()) {
+      if (bound_[a] != bound_[b]) {
+        return Status::Rejected("conflicting values " + bound_[a].ToString() +
+                                " vs " + bound_[b].ToString() +
+                                " unified by rule conditions");
+      }
+    }
+    // Keep the bound (or lower) representative.
+    if (bound_[a].is_null() && !bound_[b].is_null()) std::swap(a, b);
+    parent_[b] = a;
+    return Status::OK();
+  }
+
+  /// Resolves a sym to its current normal form.
+  Sym Resolve(Sym s) {
+    if (s.concrete()) return s;
+    size_t r = Find(s.cls);
+    if (!bound_[r].is_null()) return Sym{bound_[r], kNoClass};
+    return Sym{Value::Null(), r};
+  }
+
+  size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<Value> bound_;
+  std::vector<ValueType> type_;
+};
+
+/// An equality atom over symbolic values — an element of the condition φt.
+struct Atom {
+  Sym lhs;  ///< at least one side is a free class after Resolve
+  Sym rhs;
+};
+
+/// A tuple template (an element of X_i): the base tuple some ∆V row needs.
+struct TupleTemplate {
+  std::string table;
+  Tuple key;               ///< concrete primary key
+  std::vector<Sym> slots;  ///< full arity
+  bool is_new = false;     ///< true: U_i (insert); false: B_i (pre-existing)
+};
+
+struct TableKeyHash {
+  size_t operator()(const std::pair<std::string, Tuple>& p) const {
+    return std::hash<std::string>()(p.first) ^ TupleHash()(p.second);
+  }
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// One row participating in a symbolic join: either a base row (concrete)
+/// or a template.
+struct SymRow {
+  const Tuple* concrete = nullptr;
+  const TupleTemplate* tmpl = nullptr;
+
+  Sym At(size_t col) const {
+    if (concrete != nullptr) return Sym{(*concrete)[col], kNoClass};
+    return tmpl->slots[col];
+  }
+  bool is_template() const { return tmpl != nullptr; }
+};
+
+/// Context shared across the translation of one group insertion.
+struct Translator {
+  const ViewStore& store;
+  const Database& base;
+  const InsertOptions& options;
+
+  ClassMgr classes;
+  std::vector<TupleTemplate> templates;
+  std::unordered_map<std::pair<std::string, Tuple>, size_t, TableKeyHash>
+      template_index;
+  /// templates per base table (indices into `templates`).
+  std::unordered_map<std::string, std::vector<size_t>> templates_by_table;
+
+  /// Lazily built per-(table, column) hash indexes over base rows.
+  std::map<std::pair<std::string, size_t>,
+           std::unordered_map<Value, std::vector<const Tuple*>, ValueHash>>
+      col_index;
+
+  /// Lazily built gen-row indexes keyed by a subset of attr positions:
+  /// (view name, positions) -> attr-values -> gen rows.
+  std::map<std::pair<std::string, std::vector<size_t>>,
+           std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash>>
+      gen_index;
+
+  /// Lazily built attr -> id maps per element type (reverse gen index).
+  std::map<std::string, std::unordered_map<Tuple, int64_t, TupleHash>>
+      gen_reverse;
+
+  /// ∆V lookup: view -> set of (parent_id, projected row) keys.
+  std::unordered_map<std::string, std::unordered_set<Tuple, TupleHash>>
+      expected;
+
+  /// CNF clauses gathered as vectors of atoms to negate: each entry is one
+  /// side-effect condition φt (conjunction) to be negated.
+  std::vector<std::vector<Atom>> negative_conditions;
+
+  size_t candidates_examined = 0;
+
+  explicit Translator(const ViewStore& s, const Database& b,
+                      const InsertOptions& o)
+      : store(s), base(b), options(o) {}
+};
+
+/// Looks up the semantic attribute of node `id` of `type` in the gen table.
+Result<Tuple> GenAttrOf(const ViewStore& store, const std::string& type,
+                        int64_t id) {
+  const Table* gt = store.db().GetTable(ViewStore::GenTableName(type));
+  if (gt == nullptr) return Status::NotFound("gen table for " + type);
+  const Tuple* row = gt->FindByKey({Value::Int(id)});
+  if (row == nullptr) {
+    return Status::NotFound("node " + std::to_string(id) + " not in gen_" +
+                            type);
+  }
+  return Tuple(row->begin() + 1, row->end());
+}
+
+/// Step 1: derive/merge tuple templates for one ∆V row.
+Status BuildTemplates(Translator* t, const EdgeViewInfo& info,
+                      const Tuple& view_row) {
+  int64_t parent_id = view_row[0].as_int();
+  XVU_ASSIGN_OR_RETURN(Tuple params,
+                       GenAttrOf(t->store, info.parent_type, parent_id));
+
+  const SpjQuery& q = info.rule;
+  // Local cells: one fresh class per (occurrence, column).
+  std::vector<std::vector<size_t>> cells(q.tables().size());
+  for (size_t i = 0; i < q.tables().size(); ++i) {
+    const Table* bt = t->base.GetTable(q.tables()[i].table);
+    if (bt == nullptr) return Status::NotFound(q.tables()[i].table);
+    const Schema& sch = bt->schema();
+    cells[i].reserve(sch.arity());
+    for (size_t c = 0; c < sch.arity(); ++c) {
+      cells[i].push_back(t->classes.NewClass(sch.columns()[c].type));
+    }
+  }
+  // Constant propagation: conditions and projections bind/unify cells.
+  for (const SpjCondition& c : q.conditions()) {
+    size_t lc = cells[c.lhs.table_pos][c.lhs.col_idx];
+    switch (c.kind) {
+      case SpjCondition::Kind::kColConst:
+        XVU_RETURN_NOT_OK(t->classes.Bind(lc, c.constant));
+        break;
+      case SpjCondition::Kind::kColParam:
+        XVU_RETURN_NOT_OK(t->classes.Bind(lc, params[c.param_idx]));
+        break;
+      case SpjCondition::Kind::kColCol:
+        XVU_RETURN_NOT_OK(
+            t->classes.Union(lc, cells[c.rhs.table_pos][c.rhs.col_idx]));
+        break;
+    }
+  }
+  for (size_t j = 0; j < q.outputs().size(); ++j) {
+    const SpjColRef& ref = q.outputs()[j].ref;
+    XVU_RETURN_NOT_OK(
+        t->classes.Bind(cells[ref.table_pos][ref.col_idx], view_row[2 + j]));
+  }
+
+  // Materialize / merge templates.
+  for (size_t i = 0; i < q.tables().size(); ++i) {
+    const std::string& table = q.tables()[i].table;
+    const Table* bt = t->base.GetTable(table);
+    const Schema& sch = bt->schema();
+    Tuple key;
+    key.reserve(sch.key_indices().size());
+    for (size_t kc : sch.key_indices()) {
+      size_t cls = cells[i][kc];
+      if (!t->classes.IsBound(cls)) {
+        return Status::Rejected(
+            "key column " + sch.columns()[kc].name + " of " + table +
+            " is undetermined; the insertion cannot be translated");
+      }
+      key.push_back(t->classes.BoundValue(cls));
+    }
+    auto tk = std::make_pair(table, key);
+    auto it = t->template_index.find(tk);
+    if (it != t->template_index.end()) {
+      // Merge: unify this row's cells with the existing template's slots.
+      TupleTemplate& existing = t->templates[it->second];
+      for (size_t c = 0; c < sch.arity(); ++c) {
+        Sym s = existing.slots[c];
+        if (s.concrete()) {
+          XVU_RETURN_NOT_OK(t->classes.Bind(cells[i][c], s.value));
+        } else {
+          XVU_RETURN_NOT_OK(t->classes.Union(cells[i][c], s.cls));
+        }
+      }
+      continue;
+    }
+    TupleTemplate tmpl;
+    tmpl.table = table;
+    tmpl.key = key;
+    tmpl.slots.reserve(sch.arity());
+    const Tuple* existing_row = bt->FindByKey(key);
+    if (existing_row != nullptr) {
+      // Appendix A preprocessing (3): fill from the existing base tuple;
+      // any conflict with required values rejects the update.
+      for (size_t c = 0; c < sch.arity(); ++c) {
+        XVU_RETURN_NOT_OK(t->classes.Bind(cells[i][c], (*existing_row)[c]));
+        tmpl.slots.push_back(Sym{(*existing_row)[c], kNoClass});
+      }
+      tmpl.is_new = false;
+    } else {
+      for (size_t c = 0; c < sch.arity(); ++c) {
+        tmpl.slots.push_back(Sym{Value::Null(), cells[i][c]});
+      }
+      tmpl.is_new = true;
+    }
+    size_t idx = t->templates.size();
+    t->templates.push_back(std::move(tmpl));
+    t->template_index.emplace(std::move(tk), idx);
+    t->templates_by_table[table].push_back(idx);
+  }
+  return Status::OK();
+}
+
+/// Key used to compare found rows against ∆V: (parent_id, projected...).
+Tuple ExpectedKey(int64_t parent_id, const Tuple& projected) {
+  Tuple k;
+  k.reserve(1 + projected.size());
+  k.push_back(Value::Int(parent_id));
+  for (const Value& v : projected) k.push_back(v);
+  return k;
+}
+
+/// Base rows of `table` whose column `col` equals `v` (lazy hash index).
+const std::vector<const Tuple*>* IndexLookup(Translator* t,
+                                             const std::string& table,
+                                             size_t col, const Value& v) {
+  auto key = std::make_pair(table, col);
+  auto it = t->col_index.find(key);
+  if (it == t->col_index.end()) {
+    auto& idx = t->col_index[key];
+    const Table* bt = t->base.GetTable(table);
+    bt->ForEach([&](const Tuple& row) { idx[row[col]].push_back(&row); });
+    it = t->col_index.find(key);
+  }
+  auto vit = it->second.find(v);
+  if (vit == it->second.end()) return nullptr;
+  return &vit->second;
+}
+
+/// Whether (type, attr) already has a node id (reverse gen lookup).
+bool GenHasAttr(Translator* t, const std::string& type, const Tuple& attr,
+                int64_t* id_out) {
+  auto it = t->gen_reverse.find(type);
+  if (it == t->gen_reverse.end()) {
+    auto& rev = t->gen_reverse[type];
+    const Table* gt = t->store.db().GetTable(ViewStore::GenTableName(type));
+    if (gt != nullptr) {
+      gt->ForEach([&](const Tuple& row) {
+        rev.emplace(Tuple(row.begin() + 1, row.end()), row[0].as_int());
+      });
+    }
+    it = t->gen_reverse.find(type);
+  }
+  auto vit = it->second.find(attr);
+  if (vit == it->second.end()) return false;
+  if (id_out != nullptr) *id_out = vit->second;
+  return true;
+}
+
+/// Recursive symbolic join over the rule's FROM occurrences.
+///
+/// `forced` is the occurrence pinned to a new template (the first
+/// occurrence drawing from U); occurrences before it draw from base rows
+/// only, those after from base rows or new templates — this enumerates
+/// every combination containing at least one U row exactly once.
+struct JoinFrame {
+  const EdgeViewInfo* info;
+  size_t forced;
+  /// assigned[pos] is meaningful iff is_set[pos]; the forced occurrence is
+  /// pre-seeded, so conditions against it narrow the join from the start.
+  std::vector<SymRow> assigned;
+  std::vector<uint8_t> is_set;
+  std::vector<Atom> atoms;
+};
+
+Status EmitCandidate(Translator* t, JoinFrame* f);
+
+/// A condition "fires" at the first point where all of its endpoints are
+/// filled; the forced occupancy counts as filled from the start.
+size_t FirePosition(const SpjCondition& c, size_t forced) {
+  size_t fire = 0;
+  bool any = false;
+  auto consider = [&](size_t pos) {
+    if (pos == forced) return;  // pre-seeded
+    fire = std::max(fire, pos);
+    any = true;
+  };
+  consider(c.lhs.table_pos);
+  if (c.kind == SpjCondition::Kind::kColCol) consider(c.rhs.table_pos);
+  return any ? fire : static_cast<size_t>(-1);  // -1: fires at seeding time
+}
+
+/// Checks/collects one condition over the currently assigned rows.
+/// Returns false when the condition is concretely violated.
+bool ApplyCondition(Translator* t, JoinFrame* f, const SpjCondition& c) {
+  if (c.kind == SpjCondition::Kind::kColParam) {
+    return true;  // handled in EmitCandidate via the gen-parent match
+  }
+  Sym l = t->classes.Resolve(f->assigned[c.lhs.table_pos].At(c.lhs.col_idx));
+  Sym r = c.kind == SpjCondition::Kind::kColConst
+              ? Sym{c.constant, kNoClass}
+              : t->classes.Resolve(
+                    f->assigned[c.rhs.table_pos].At(c.rhs.col_idx));
+  if (l.concrete() && r.concrete()) return l.value == r.value;
+  if (!l.concrete() && !r.concrete() && l.cls == r.cls) return true;
+  f->atoms.push_back(Atom{l, r});
+  return true;
+}
+
+Status JoinRec(Translator* t, JoinFrame* f, size_t occ) {
+  const SpjQuery& q = f->info->rule;
+  if (occ == q.tables().size()) return EmitCandidate(t, f);
+  if (occ == f->forced) return JoinRec(t, f, occ + 1);  // pre-seeded
+  if (++t->candidates_examined > t->options.max_symbolic_candidates) {
+    return Status::Rejected(
+        "insertion side-effect analysis exceeded the work cap");
+  }
+
+  // Conditions firing at this occurrence.
+  std::vector<const SpjCondition*> conds;
+  for (const SpjCondition& c : q.conditions()) {
+    if (FirePosition(c, f->forced) == occ) conds.push_back(&c);
+  }
+
+  auto try_row = [&](SymRow row) -> Status {
+    size_t atoms_mark = f->atoms.size();
+    f->assigned[occ] = row;
+    f->is_set[occ] = 1;
+    bool viable = true;
+    for (const SpjCondition* c : conds) {
+      if (!ApplyCondition(t, f, *c)) {
+        viable = false;
+        break;
+      }
+    }
+    if (viable) XVU_RETURN_NOT_OK(JoinRec(t, f, occ + 1));
+    f->is_set[occ] = 0;
+    f->atoms.resize(atoms_mark);
+    return Status::OK();
+  };
+
+  const std::string& table = q.tables()[occ].table;
+
+  // Base rows. Narrow with an index when some condition binds a column of
+  // this occurrence to an already-filled concrete value (assigned, forced,
+  // or a constant).
+  auto filled = [&](size_t pos) {
+    return pos == f->forced || (pos < occ && f->is_set[pos]);
+  };
+  bool have_narrow = false;
+  const std::vector<const Tuple*>* narrowed = nullptr;
+  for (const SpjCondition& c : q.conditions()) {
+    size_t col = Schema::npos;
+    Sym other;
+    if (c.kind == SpjCondition::Kind::kColConst && c.lhs.table_pos == occ) {
+      col = c.lhs.col_idx;
+      other = Sym{c.constant, kNoClass};
+    } else if (c.kind == SpjCondition::Kind::kColCol) {
+      if (c.lhs.table_pos == occ && filled(c.rhs.table_pos)) {
+        col = c.lhs.col_idx;
+        other = t->classes.Resolve(
+            f->assigned[c.rhs.table_pos].At(c.rhs.col_idx));
+      } else if (c.rhs.table_pos == occ && filled(c.lhs.table_pos)) {
+        col = c.rhs.col_idx;
+        other = t->classes.Resolve(
+            f->assigned[c.lhs.table_pos].At(c.lhs.col_idx));
+      }
+    }
+    if (col != Schema::npos && other.concrete()) {
+      have_narrow = true;
+      narrowed = IndexLookup(t, table, col, other.value);
+      if (narrowed == nullptr || narrowed->size() <= 4) break;
+    }
+  }
+  if (have_narrow) {
+    if (narrowed != nullptr) {
+      for (const Tuple* row : *narrowed) {
+        XVU_RETURN_NOT_OK(try_row(SymRow{row, nullptr}));
+      }
+    }
+  } else {
+    const Table* bt = t->base.GetTable(table);
+    Status st = Status::OK();
+    bt->ForEach([&](const Tuple& row) {
+      if (!st.ok()) return;
+      st = try_row(SymRow{&row, nullptr});
+    });
+    XVU_RETURN_NOT_OK(st);
+  }
+
+  // New templates of this table (occurrences after `forced` may also draw
+  // from U; before `forced`, base only — that combination is covered when
+  // that occurrence is itself the forced one).
+  if (occ > f->forced) {
+    auto it = t->templates_by_table.find(table);
+    if (it != t->templates_by_table.end()) {
+      for (size_t ti : it->second) {
+        if (!t->templates[ti].is_new) continue;
+        XVU_RETURN_NOT_OK(try_row(SymRow{nullptr, &t->templates[ti]}));
+      }
+    }
+  }
+  f->is_set[occ] = 0;
+  return Status::OK();
+}
+
+Status EmitCandidate(Translator* t, JoinFrame* f) {
+  const EdgeViewInfo& info = *f->info;
+  const SpjQuery& q = info.rule;
+
+  // Resolve parameter constraints: concrete params narrow the parent gen
+  // rows; symbolic ones add per-parent atoms.
+  struct ParamBind {
+    size_t param_idx;
+    Sym sym;
+  };
+  std::vector<ParamBind> binds;
+  for (const SpjCondition& c : q.conditions()) {
+    if (c.kind != SpjCondition::Kind::kColParam) continue;
+    Sym s = t->classes.Resolve(
+        f->assigned[c.lhs.table_pos].At(c.lhs.col_idx));
+    binds.push_back(ParamBind{c.param_idx, s});
+  }
+
+  const Table* gt =
+      t->store.db().GetTable(ViewStore::GenTableName(info.parent_type));
+  if (gt == nullptr) {
+    return Status::NotFound("gen table for " + info.parent_type);
+  }
+
+  // Projected row (symbolic).
+  std::vector<Sym> projected;
+  projected.reserve(q.outputs().size());
+  bool proj_concrete = true;
+  for (const SpjOutput& o : q.outputs()) {
+    Sym s = t->classes.Resolve(f->assigned[o.ref.table_pos].At(o.ref.col_idx));
+    proj_concrete = proj_concrete && s.concrete();
+    projected.push_back(s);
+  }
+
+  // Candidate parents: narrow by the concrete parameter bindings via a
+  // lazily built gen index, so the per-candidate cost is independent of
+  // |gen_A| (matching the paper's |I|-independent coding complexity).
+  std::vector<size_t> concrete_pos;
+  Tuple concrete_vals;
+  for (const ParamBind& b : binds) {
+    if (b.sym.concrete()) {
+      concrete_pos.push_back(b.param_idx);
+      concrete_vals.push_back(b.sym.value);
+    }
+  }
+  std::sort(concrete_pos.begin(), concrete_pos.end());
+  concrete_pos.erase(std::unique(concrete_pos.begin(), concrete_pos.end()),
+                     concrete_pos.end());
+  // Rebuild values in the deduped position order.
+  concrete_vals.clear();
+  for (size_t p : concrete_pos) {
+    for (const ParamBind& b : binds) {
+      if (b.param_idx == p && b.sym.concrete()) {
+        concrete_vals.push_back(b.sym.value);
+        break;
+      }
+    }
+  }
+  // Distinct concrete binds for the same param must agree.
+  for (const ParamBind& b : binds) {
+    if (!b.sym.concrete()) continue;
+    for (size_t i = 0; i < concrete_pos.size(); ++i) {
+      if (concrete_pos[i] == b.param_idx &&
+          concrete_vals[i] != b.sym.value) {
+        return Status::OK();  // contradictory: no parent matches
+      }
+    }
+  }
+
+  std::vector<const Tuple*> parents;
+  if (!concrete_pos.empty()) {
+    auto key = std::make_pair(info.name, concrete_pos);
+    auto iit = t->gen_index.find(key);
+    if (iit == t->gen_index.end()) {
+      auto& idx = t->gen_index[key];
+      gt->ForEach([&](const Tuple& row) {
+        Tuple k;
+        k.reserve(concrete_pos.size());
+        for (size_t p : concrete_pos) k.push_back(row[1 + p]);
+        idx[std::move(k)].push_back(&row);
+      });
+      iit = t->gen_index.find(key);
+    }
+    auto vit = iit->second.find(concrete_vals);
+    if (vit != iit->second.end()) parents = vit->second;
+  } else {
+    gt->ForEach([&](const Tuple& row) { parents.push_back(&row); });
+  }
+
+  Status st = Status::OK();
+  for (const Tuple* gp : parents) {
+    const Tuple& gen_row = *gp;
+    if (!st.ok()) break;
+    if (++t->candidates_examined > t->options.max_symbolic_candidates) {
+      st = Status::Rejected(
+          "insertion side-effect analysis exceeded the work cap");
+      break;
+    }
+    int64_t parent_id = gen_row[0].as_int();
+    std::vector<Atom> atoms = f->atoms;
+    bool viable = true;
+    for (const ParamBind& b : binds) {
+      const Value& pv = gen_row[1 + b.param_idx];
+      if (b.sym.concrete()) {
+        if (b.sym.value != pv) {
+          viable = false;
+          break;
+        }
+      } else {
+        atoms.push_back(Atom{b.sym, Sym{pv, kNoClass}});
+      }
+    }
+    if (!viable) continue;
+
+    if (proj_concrete && atoms.empty()) {
+      // A certain new view row: expected, already present, or a definite
+      // side effect (Appendix A case (a)).
+      Tuple proj;
+      proj.reserve(projected.size());
+      for (const Sym& s : projected) proj.push_back(s.value);
+      Tuple ek = ExpectedKey(parent_id, proj);
+      auto eit = t->expected.find(info.name);
+      if (eit != t->expected.end() && eit->second.count(ek) > 0) continue;
+      // In the current view?
+      Tuple attr(proj.begin(),
+                 proj.begin() + static_cast<std::ptrdiff_t>(info.attr_arity));
+      int64_t child_id = 0;
+      bool in_view = false;
+      if (GenHasAttr(t, info.child_type, attr, &child_id)) {
+        const Table* vt = t->store.db().GetTable(info.name);
+        Tuple full = ViewStore::MakeEdgeRow(parent_id, child_id, proj);
+        in_view = vt != nullptr && vt->FindByKey(full) != nullptr;
+      }
+      if (in_view) continue;
+      st = Status::Rejected(
+          "insertion has a certain side effect: view " + info.name +
+          " would gain unrequested row parent=" + std::to_string(parent_id) +
+          " " + TupleToString(proj));
+      break;
+    }
+
+    // Guarded candidate: decide by domain of the free classes involved.
+    // Any atom touching an infinite-domain free class is avoided by the
+    // fresh-value policy (case (b)); if no such atom exists the whole
+    // condition is over finite domains and must be negated (case (c)).
+    bool avoidable = false;
+    for (const Atom& a : atoms) {
+      for (const Sym* s : {&a.lhs, &a.rhs}) {
+        if (!s->concrete() &&
+            t->classes.TypeOf(s->cls) != ValueType::kBool) {
+          avoidable = true;
+        }
+      }
+    }
+    if (avoidable) continue;
+    if (atoms.empty()) {
+      // Conditions hold outright but the projection is symbolic: whatever
+      // the variables take, an unrequested row appears.
+      st = Status::Rejected(
+          "insertion has a certain side effect with free payload in view " +
+          info.name);
+      break;
+    }
+    t->negative_conditions.push_back(std::move(atoms));
+  }
+  return st;
+}
+
+/// Fresh-value generator for free infinite-domain classes.
+class FreshValues {
+ public:
+  explicit FreshValues(const Database& base) {
+    for (const std::string& tn : base.TableNames()) {
+      const Table* bt = base.GetTable(tn);
+      bt->ForEach([&](const Tuple& row) {
+        for (const Value& v : row) {
+          if (v.type() == ValueType::kInt) {
+            max_int_ = std::max(max_int_, v.as_int());
+          }
+        }
+      });
+    }
+  }
+
+  Value Next(ValueType type) {
+    switch (type) {
+      case ValueType::kInt:
+        return Value::Int(++max_int_);
+      case ValueType::kString:
+        return Value::Str("xvu_fresh_" + std::to_string(++counter_));
+      default:
+        return Value::Null();
+    }
+  }
+
+ private:
+  int64_t max_int_ = 0;
+  int64_t counter_ = 0;
+};
+
+}  // namespace
+
+Result<InsertTranslation> TranslateGroupInsertion(
+    const ViewStore& store, const Database& base,
+    const std::vector<ViewRowOp>& insertions, const InsertOptions& options) {
+  Translator t(store, base, options);
+  InsertTranslation out;
+
+  // Drop ∆V rows already present in the view (the edge exists; XML-side
+  // semantics make re-insertion a no-op) and index the rest as expected.
+  std::vector<const ViewRowOp*> todo;
+  for (const ViewRowOp& op : insertions) {
+    const EdgeViewInfo* info = store.GetEdgeView(op.view_name);
+    if (info == nullptr) return Status::NotFound(op.view_name);
+    const Table* vt = store.db().GetTable(op.view_name);
+    if (vt != nullptr && vt->FindByKey(op.row) != nullptr) continue;
+    todo.push_back(&op);
+    Tuple proj(op.row.begin() + 2, op.row.end());
+    t.expected[op.view_name].insert(ExpectedKey(op.row[0].as_int(), proj));
+  }
+  if (todo.empty()) return out;
+
+  // Step 1: tuple templates.
+  for (const ViewRowOp* op : todo) {
+    XVU_RETURN_NOT_OK(
+        BuildTemplates(&t, *store.GetEdgeView(op->view_name), op->row));
+  }
+  out.num_templates = t.templates.size();
+
+  bool any_new = false;
+  for (const TupleTemplate& tmpl : t.templates) any_new |= tmpl.is_new;
+  if (!any_new) {
+    // Everything needed already exists; conditions were checked during
+    // propagation, so the requested rows are derivable with ∆R = ∅.
+    return out;
+  }
+
+  // Step 2: symbolic side-effect evaluation — for every view and every
+  // choice of "first occurrence drawing from U".
+  for (const std::string& vname : store.EdgeViewNames()) {
+    const EdgeViewInfo* info = store.GetEdgeView(vname);
+    const SpjQuery& q = info->rule;
+    for (size_t forced = 0; forced < q.tables().size(); ++forced) {
+      auto it = t.templates_by_table.find(q.tables()[forced].table);
+      if (it == t.templates_by_table.end()) continue;
+      for (size_t ti : it->second) {
+        if (!t.templates[ti].is_new) continue;
+        JoinFrame f;
+        f.info = info;
+        f.forced = forced;
+        f.assigned.assign(q.tables().size(), SymRow{});
+        f.is_set.assign(q.tables().size(), 0);
+        f.assigned[forced] = SymRow{nullptr, &t.templates[ti]};
+        f.is_set[forced] = 1;
+        // Conditions entirely within the forced occurrence fire now.
+        bool viable = true;
+        for (const SpjCondition& c : q.conditions()) {
+          if (FirePosition(c, forced) == static_cast<size_t>(-1) &&
+              !ApplyCondition(&t, &f, c)) {
+            viable = false;
+            break;
+          }
+        }
+        if (viable) XVU_RETURN_NOT_OK(JoinRec(&t, &f, 0));
+      }
+    }
+  }
+
+  // Step 3: CNF encoding over the finite-domain free classes.
+  FiniteDomainEncoder enc;
+  std::map<size_t, FiniteDomainEncoder::VarId> cls_var;
+  auto var_of = [&](size_t cls) {
+    auto it = cls_var.find(cls);
+    if (it != cls_var.end()) return it->second;
+    auto v = enc.AddVar({Value::Bool(false), Value::Bool(true)});
+    cls_var.emplace(cls, v);
+    return v;
+  };
+  auto atom_lit = [&](const Atom& a) -> Lit {
+    // At least one side is a free class (finite == bool here).
+    if (!a.lhs.concrete() && !a.rhs.concrete()) {
+      return enc.EqVar(var_of(a.lhs.cls), var_of(a.rhs.cls));
+    }
+    const Sym& sym = a.lhs.concrete() ? a.rhs : a.lhs;
+    const Sym& con = a.lhs.concrete() ? a.lhs : a.rhs;
+    return enc.EqConst(var_of(sym.cls), con.value);
+  };
+  for (const std::vector<Atom>& cond : t.negative_conditions) {
+    std::vector<Lit> clause;
+    clause.reserve(cond.size());
+    for (const Atom& a : cond) clause.push_back(-atom_lit(a));
+    enc.AddClause(std::move(clause));
+  }
+  out.num_variables = cls_var.size();
+  out.num_sat_vars = static_cast<size_t>(enc.cnf().num_vars());
+  out.num_sat_clauses = enc.cnf().num_clauses();
+
+  std::vector<bool> model;
+  if (!t.negative_conditions.empty()) {
+    out.used_sat = true;
+    SatResult res;
+    if (options.use_walksat) {
+      res = SolveWalkSat(enc.cnf(), options.walksat);
+    } else {
+      res = SolveDpll(enc.cnf());
+    }
+    if (res.kind != SatResult::Kind::kSat && options.dpll_fallback &&
+        options.use_walksat) {
+      res = SolveDpll(enc.cnf());
+    }
+    if (res.kind != SatResult::Kind::kSat) {
+      return Status::Rejected(
+          "insertion rejected: no side-effect-free assignment found (" +
+          std::string(res.kind == SatResult::Kind::kUnsat
+                          ? "provably none exists"
+                          : "solver gave up") +
+          ")");
+    }
+    model = std::move(res.model);
+  } else if (!cls_var.empty()) {
+    // No constraints: any assignment works; default all-false.
+    model.assign(static_cast<size_t>(enc.cnf().num_vars()) + 1, false);
+  }
+
+  // Step 4: instantiate the new templates into ∆R.
+  FreshValues fresh(base);
+  std::map<size_t, Value> fresh_cache;  // per root class
+  for (const TupleTemplate& tmpl : t.templates) {
+    if (!tmpl.is_new) continue;
+    Tuple row;
+    row.reserve(tmpl.slots.size());
+    for (const Sym& s0 : tmpl.slots) {
+      Sym s = t.classes.Resolve(s0);
+      if (s.concrete()) {
+        row.push_back(s.value);
+        continue;
+      }
+      auto cit = cls_var.find(s.cls);
+      if (cit != cls_var.end()) {
+        XVU_ASSIGN_OR_RETURN(Value v, enc.Decode(cit->second, model));
+        row.push_back(v);
+        continue;
+      }
+      ValueType type = t.classes.TypeOf(s.cls);
+      if (type == ValueType::kBool) {
+        // Unconstrained finite class: any value.
+        row.push_back(Value::Bool(false));
+        continue;
+      }
+      auto fit = fresh_cache.find(s.cls);
+      if (fit == fresh_cache.end()) {
+        fit = fresh_cache.emplace(s.cls, fresh.Next(type)).first;
+      }
+      row.push_back(fit->second);
+    }
+    out.delta_r.ops.push_back(
+        TableOp{TableOp::Kind::kInsert, tmpl.table, std::move(row)});
+  }
+  return out;
+}
+
+}  // namespace xvu

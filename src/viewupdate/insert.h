@@ -1,0 +1,65 @@
+#ifndef XVU_VIEWUPDATE_INSERT_H_
+#define XVU_VIEWUPDATE_INSERT_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/relational/database.h"
+#include "src/sat/walksat.h"
+#include "src/viewupdate/delete.h"
+#include "src/viewupdate/view_store.h"
+
+namespace xvu {
+
+struct InsertOptions {
+  /// Solve the side-effect encoding with WalkSAT (the paper's choice).
+  bool use_walksat = true;
+  /// On WalkSAT kUnknown, retry with the complete DPLL solver before
+  /// rejecting. Disable to mirror the paper's 78%-success behaviour.
+  bool dpll_fallback = true;
+  WalkSatOptions walksat;
+  /// Safety cap on symbolic join work; exceeded => Rejected.
+  size_t max_symbolic_candidates = 200000;
+};
+
+/// Statistics and result of a group-insertion translation.
+struct InsertTranslation {
+  RelationalUpdate delta_r;
+  size_t num_templates = 0;    ///< tuple templates derived (|X_i| total)
+  size_t num_variables = 0;    ///< finite-domain variables encoded
+  size_t num_sat_vars = 0;     ///< propositional variables
+  size_t num_sat_clauses = 0;  ///< CNF clauses
+  bool used_sat = false;       ///< a solver run was needed
+};
+
+/// Algorithm insert (Section 4.3 / Appendix A): translates a group of
+/// edge-view row insertions ∆V into base-table insertions ∆R such that
+/// ∆V(V(I)) = V(∆R(I)), or rejects.
+///
+/// Pipeline:
+///  1. Tuple templates: per ∆V row and FROM occurrence, derive the base
+///     tuple it needs — keys come from the extended view row (key
+///     preservation), other columns from the rule's conditions/projection
+///     via constant propagation and variable unification (the Appendix A
+///     preprocessing). Conflicts with existing base tuples => Rejected.
+///  2. Symbolic side-effect evaluation: every view query is evaluated over
+///     I ∪ X with at least one new template participating; a resulting row
+///     that is neither in the view nor in ∆V is a side effect. A fully
+///     concrete one rejects the update (Appendix A case (a)); one guarded
+///     by a condition with an infinite-domain free variable is avoided by
+///     assigning fresh values (case (b)); one guarded only by
+///     finite-domain variables contributes the negated condition ¬φt to
+///     the CNF (case (c)).
+///  3. SAT: solve with WalkSAT (Theorem 4 gives the correspondence);
+///     reject when no assignment is found.
+///  4. ∆R derivation: instantiate the new templates from the model; free
+///     infinite-domain variables receive fresh values outside the active
+///     domain.
+Result<InsertTranslation> TranslateGroupInsertion(
+    const ViewStore& store, const Database& base,
+    const std::vector<ViewRowOp>& insertions,
+    const InsertOptions& options = {});
+
+}  // namespace xvu
+
+#endif  // XVU_VIEWUPDATE_INSERT_H_

@@ -1,0 +1,161 @@
+#include "src/viewupdate/minimal_delete.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace xvu {
+
+namespace {
+
+struct SourceRefHash {
+  size_t operator()(const SourceRef& s) const {
+    return std::hash<std::string>()(s.table) * 1315423911u ^
+           TupleHash()(s.key);
+  }
+};
+
+/// Exact minimum set cover by depth-first branch and bound over elements
+/// (∆V rows), ordered by fewest candidates first.
+struct ExactCover {
+  // candidate_of[e] = candidate indices usable for element e.
+  std::vector<std::vector<size_t>> candidate_of;
+  // covers[c] = elements covered by candidate c.
+  std::vector<std::vector<size_t>> covers;
+  size_t num_elements = 0;
+
+  std::vector<uint8_t> chosen;
+  std::vector<size_t> cover_count;  // per element
+  std::vector<size_t> best;
+  size_t chosen_count = 0;
+
+  void Dfs(size_t elem, std::vector<size_t>* current) {
+    while (elem < num_elements && cover_count[elem] > 0) ++elem;
+    if (elem == num_elements) {
+      if (best.empty() || current->size() < best.size()) best = *current;
+      return;
+    }
+    if (!best.empty() && current->size() + 1 >= best.size()) return;
+    for (size_t c : candidate_of[elem]) {
+      if (chosen[c]) continue;
+      chosen[c] = 1;
+      current->push_back(c);
+      for (size_t e : covers[c]) ++cover_count[e];
+      Dfs(elem + 1, current);
+      for (size_t e : covers[c]) --cover_count[e];
+      current->pop_back();
+      chosen[c] = 0;
+    }
+  }
+
+  std::vector<size_t> Solve() {
+    chosen.assign(covers.size(), 0);
+    cover_count.assign(num_elements, 0);
+    std::vector<size_t> current;
+    Dfs(0, &current);
+    return best;
+  }
+};
+
+}  // namespace
+
+Result<RelationalUpdate> TranslateMinimalDeletion(
+    const ViewStore& store, const Database& base,
+    const std::vector<ViewRowOp>& deletions, size_t exact_threshold) {
+  // Reuse the feasibility machinery of Algorithm delete: compute the
+  // pinned set, then set up the cover instance over unpinned sources.
+  std::unordered_map<std::string, std::unordered_set<Tuple, TupleHash>>
+      dv_rows;
+  for (const ViewRowOp& op : deletions) {
+    if (store.GetEdgeView(op.view_name) == nullptr) {
+      return Status::NotFound("edge view " + op.view_name);
+    }
+    dv_rows[op.view_name].insert(op.row);
+  }
+  std::unordered_set<SourceRef, SourceRefHash> pinned;
+  for (const std::string& name : store.EdgeViewNames()) {
+    const EdgeViewInfo* info = store.GetEdgeView(name);
+    const Table* vt = store.db().GetTable(name);
+    if (vt == nullptr) continue;
+    const auto* dv = dv_rows.count(name) > 0 ? &dv_rows[name] : nullptr;
+    vt->ForEach([&](const Tuple& row) {
+      if (dv != nullptr && dv->count(row) > 0) return;
+      for (SourceRef& s : DeletableSource(*info, row)) {
+        pinned.insert(std::move(s));
+      }
+    });
+  }
+
+  // Build the cover instance: elements = ∆V rows; candidates = distinct
+  // unpinned source tuples.
+  std::map<SourceRef, size_t> candidate_index;
+  std::vector<SourceRef> candidates;
+  ExactCover cover;
+  cover.num_elements = deletions.size();
+  cover.candidate_of.resize(deletions.size());
+  for (size_t e = 0; e < deletions.size(); ++e) {
+    const ViewRowOp& op = deletions[e];
+    const EdgeViewInfo* info = store.GetEdgeView(op.view_name);
+    bool any = false;
+    for (SourceRef& s : DeletableSource(*info, op.row)) {
+      if (pinned.count(s) > 0) continue;
+      any = true;
+      auto [it, fresh] = candidate_index.emplace(s, candidates.size());
+      if (fresh) {
+        candidates.push_back(s);
+        cover.covers.emplace_back();
+      }
+      cover.candidate_of[e].push_back(it->second);
+      cover.covers[it->second].push_back(e);
+    }
+    if (!any) {
+      return Status::Rejected(
+          "view deletion of " + TupleToString(op.row) + " from " +
+          op.view_name + " is untranslatable (no side-effect-free source)");
+    }
+  }
+
+  std::vector<size_t> picked;
+  if (candidates.size() <= exact_threshold) {
+    picked = cover.Solve();
+  } else {
+    // Greedy set cover: repeatedly take the candidate covering the most
+    // still-uncovered elements.
+    std::vector<uint8_t> covered(deletions.size(), 0);
+    size_t remaining = deletions.size();
+    while (remaining > 0) {
+      size_t best_c = 0, best_gain = 0;
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        size_t gain = 0;
+        for (size_t e : cover.covers[c]) gain += covered[e] == 0 ? 1 : 0;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_c = c;
+        }
+      }
+      picked.push_back(best_c);
+      for (size_t e : cover.covers[best_c]) {
+        if (!covered[e]) {
+          covered[e] = 1;
+          --remaining;
+        }
+      }
+    }
+  }
+
+  RelationalUpdate dr;
+  for (size_t c : picked) {
+    const SourceRef& s = candidates[c];
+    const Table* t = base.GetTable(s.table);
+    if (t == nullptr) return Status::NotFound("table " + s.table);
+    const Tuple* full = t->FindByKey(s.key);
+    if (full == nullptr) {
+      return Status::Internal("source tuple " + s.ToString() + " vanished");
+    }
+    dr.ops.push_back(TableOp{TableOp::Kind::kDelete, s.table, *full});
+  }
+  return dr;
+}
+
+}  // namespace xvu

@@ -1,0 +1,30 @@
+#ifndef XVU_VIEWUPDATE_MINIMAL_DELETE_H_
+#define XVU_VIEWUPDATE_MINIMAL_DELETE_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/relational/database.h"
+#include "src/viewupdate/delete.h"
+#include "src/viewupdate/view_store.h"
+
+namespace xvu {
+
+/// The minimal view deletion problem (Section 4.2): among all valid ∆R's
+/// for a group deletion ∆V, find one with the fewest tuple deletions.
+/// NP-complete even under key preservation (Theorem 3, by reduction from
+/// minimum set cover), so:
+///   - instances with at most `exact_threshold` distinct candidate source
+///     tuples are solved exactly by branch-and-bound;
+///   - larger instances use the greedy set-cover heuristic
+///     (ln(n)-approximate).
+///
+/// Semantics match TranslateGroupDeletion: every ∆V row must lose at least
+/// one side-effect-free source tuple; returns Rejected when impossible.
+Result<RelationalUpdate> TranslateMinimalDeletion(
+    const ViewStore& store, const Database& base,
+    const std::vector<ViewRowOp>& deletions, size_t exact_threshold = 24);
+
+}  // namespace xvu
+
+#endif  // XVU_VIEWUPDATE_MINIMAL_DELETE_H_

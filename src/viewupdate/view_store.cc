@@ -1,0 +1,116 @@
+#include "src/viewupdate/view_store.h"
+
+namespace xvu {
+
+Status ViewStore::RegisterEdgeView(EdgeViewInfo info) {
+  if (edge_views_.count(info.name) > 0) {
+    return Status::AlreadyExists("edge view " + info.name);
+  }
+  std::vector<Column> cols;
+  cols.reserve(2 + info.rule.outputs().size());
+  cols.push_back(Column{"parent_id", ValueType::kInt});
+  cols.push_back(Column{"child_id", ValueType::kInt});
+  std::vector<std::string> key_cols;
+  key_cols.reserve(cols.size() + info.rule.outputs().size());
+  for (size_t i = 0; i < info.rule.outputs().size(); ++i) {
+    // Position prefix guarantees uniqueness across FROM occurrences;
+    // kNull = dynamically typed (output types depend on source schemas).
+    cols.push_back(Column{"o" + std::to_string(i) + "_" +
+                              info.rule.outputs()[i].name,
+                          ValueType::kNull});
+  }
+  // PK: the whole row — a witness row is unique as a whole.
+  for (const Column& c : cols) key_cols.push_back(c.name);
+  XVU_RETURN_NOT_OK(db_.CreateTable(Schema(info.name, cols, key_cols)));
+  edge_views_.emplace(info.name, std::move(info));
+  return Status::OK();
+}
+
+Status ViewStore::RegisterGenTable(const std::string& type,
+                                   const std::vector<Column>& attr_fields) {
+  std::vector<Column> cols;
+  cols.push_back(Column{"id", ValueType::kInt});
+  for (const Column& f : attr_fields) cols.push_back(f);
+  return db_.CreateTable(Schema(GenTableName(type), cols, {"id"}));
+}
+
+const EdgeViewInfo* ViewStore::GetEdgeView(const std::string& name) const {
+  auto it = edge_views_.find(name);
+  return it == edge_views_.end() ? nullptr : &it->second;
+}
+
+const EdgeViewInfo* ViewStore::FindEdgeViewByTypes(
+    const std::string& parent_type, const std::string& child_type) const {
+  return GetEdgeView(EdgeViewName(parent_type, child_type));
+}
+
+std::vector<std::string> ViewStore::EdgeViewNames() const {
+  std::vector<std::string> out;
+  out.reserve(edge_views_.size());
+  for (const auto& [n, _] : edge_views_) out.push_back(n);
+  return out;
+}
+
+Tuple ViewStore::MakeEdgeRow(int64_t parent_id, int64_t child_id,
+                             const Tuple& projected) {
+  Tuple row;
+  row.reserve(2 + projected.size());
+  row.push_back(Value::Int(parent_id));
+  row.push_back(Value::Int(child_id));
+  for (const Value& v : projected) row.push_back(v);
+  return row;
+}
+
+Status ViewStore::AddEdgeRow(const std::string& view_name, const Tuple& row) {
+  Table* t = db_.GetTable(view_name);
+  if (t == nullptr) return Status::NotFound("edge view " + view_name);
+  return t->InsertIfAbsent(row);
+}
+
+Status ViewStore::RemoveEdgeRow(const std::string& view_name,
+                                const Tuple& row) {
+  Table* t = db_.GetTable(view_name);
+  if (t == nullptr) return Status::NotFound("edge view " + view_name);
+  return t->DeleteByKey(t->schema().KeyOf(row));
+}
+
+std::vector<Tuple> ViewStore::EdgeRowsFor(const std::string& view_name,
+                                          int64_t parent_id,
+                                          int64_t child_id) const {
+  std::vector<Tuple> out;
+  const Table* t = db_.GetTable(view_name);
+  if (t == nullptr) return out;
+  Value p = Value::Int(parent_id), c = Value::Int(child_id);
+  t->ForEach([&](const Tuple& row) {
+    if (row[0] == p && row[1] == c) out.push_back(row);
+  });
+  return out;
+}
+
+Status ViewStore::AddGenRow(const std::string& type, int64_t id,
+                            const Tuple& attr) {
+  Table* t = db_.GetTable(GenTableName(type));
+  if (t == nullptr) return Status::NotFound("gen table for " + type);
+  Tuple row;
+  row.reserve(1 + attr.size());
+  row.push_back(Value::Int(id));
+  for (const Value& v : attr) row.push_back(v);
+  return t->InsertIfAbsent(row);
+}
+
+Status ViewStore::RemoveGenRow(const std::string& type, int64_t id) {
+  Table* t = db_.GetTable(GenTableName(type));
+  if (t == nullptr) return Status::NotFound("gen table for " + type);
+  return t->DeleteByKey({Value::Int(id)});
+}
+
+size_t ViewStore::TotalEdgeRows() const {
+  size_t n = 0;
+  for (const auto& [name, _] : edge_views_) {
+    const Table* t = db_.GetTable(name);
+    if (t != nullptr) n += t->size();
+  }
+  return n;
+}
+
+}  // namespace xvu

@@ -1,0 +1,93 @@
+#ifndef XVU_VIEWUPDATE_VIEW_STORE_H_
+#define XVU_VIEWUPDATE_VIEW_STORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/relational/database.h"
+#include "src/relational/spj.h"
+
+namespace xvu {
+
+/// Metadata for one edge relation edge_A_B of the relational coding V_σ
+/// (Section 2.3).
+///
+/// The materialized extent lives in the ViewStore's database under `name`
+/// with schema
+///     (parent_id:int, child_id:int, o0..om-1)
+/// where o0..om-1 are the rule query's projected columns — the child's
+/// semantic-attribute fields first (`attr_arity` of them), then the
+/// primary-key columns of every FROM occurrence added by
+/// SpjQuery::WithKeyPreservation. A row is one *witness* of the edge: the
+/// same (parent_id, child_id) DAG edge may have several witness rows if
+/// several source combinations produce it.
+struct EdgeViewInfo {
+  std::string name;         ///< "edge_<A>_<B>"
+  std::string parent_type;  ///< A
+  std::string child_type;   ///< B
+  /// The (key-preserving) SPJ rule query, parameterized by the parent's
+  /// semantic attribute.
+  SpjQuery rule;
+  /// Arity of the child's semantic attribute (leading outputs of `rule`).
+  size_t attr_arity = 0;
+  /// For each FROM occurrence of `rule`, the positions of its key columns
+  /// within the rule's outputs (schema order).
+  std::vector<std::vector<size_t>> key_positions;
+};
+
+/// Materialized relational coding of a compressed XML view: the edge
+/// relations edge_A_B plus the gen_A node tables, stored in an ordinary
+/// relational Database (the paper stores the DAG "in relations").
+class ViewStore {
+ public:
+  /// Registers edge view metadata and creates its backing table.
+  Status RegisterEdgeView(EdgeViewInfo info);
+
+  /// Creates gen_<type> table with schema (id:int key, attr fields...).
+  Status RegisterGenTable(const std::string& type,
+                          const std::vector<Column>& attr_fields);
+
+  const EdgeViewInfo* GetEdgeView(const std::string& name) const;
+  /// Finds the edge view for parent type A and child type B, or nullptr.
+  const EdgeViewInfo* FindEdgeViewByTypes(const std::string& parent_type,
+                                          const std::string& child_type) const;
+  std::vector<std::string> EdgeViewNames() const;
+
+  /// Builds a full edge-view row from ids and the rule's projected row.
+  static Tuple MakeEdgeRow(int64_t parent_id, int64_t child_id,
+                           const Tuple& projected);
+
+  Status AddEdgeRow(const std::string& view_name, const Tuple& row);
+  Status RemoveEdgeRow(const std::string& view_name, const Tuple& row);
+  /// All witness rows for the DAG edge (parent_id, child_id).
+  std::vector<Tuple> EdgeRowsFor(const std::string& view_name,
+                                 int64_t parent_id, int64_t child_id) const;
+
+  Status AddGenRow(const std::string& type, int64_t id, const Tuple& attr);
+  Status RemoveGenRow(const std::string& type, int64_t id);
+
+  /// The backing database holding edge_* and gen_* tables.
+  Database& db() { return db_; }
+  const Database& db() const { return db_; }
+
+  static std::string EdgeViewName(const std::string& parent_type,
+                                  const std::string& child_type) {
+    return "edge_" + parent_type + "_" + child_type;
+  }
+  static std::string GenTableName(const std::string& type) {
+    return "gen_" + type;
+  }
+
+  /// Total number of materialized edge rows (|V| of the paper).
+  size_t TotalEdgeRows() const;
+
+ private:
+  Database db_;
+  std::map<std::string, EdgeViewInfo> edge_views_;
+};
+
+}  // namespace xvu
+
+#endif  // XVU_VIEWUPDATE_VIEW_STORE_H_

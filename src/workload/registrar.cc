@@ -1,0 +1,148 @@
+#include "src/workload/registrar.h"
+
+namespace xvu {
+
+Result<Database> MakeRegistrarDatabase() {
+  Database db;
+  XVU_RETURN_NOT_OK(db.CreateTable(Schema(
+      "course",
+      {{"cno", ValueType::kString},
+       {"title", ValueType::kString},
+       {"dept", ValueType::kString}},
+      {"cno"})));
+  XVU_RETURN_NOT_OK(db.CreateTable(Schema(
+      "project",
+      {{"pno", ValueType::kString},
+       {"title", ValueType::kString},
+       {"dept", ValueType::kString}},
+      {"pno"})));
+  XVU_RETURN_NOT_OK(db.CreateTable(Schema(
+      "student",
+      {{"ssn", ValueType::kString}, {"name", ValueType::kString}},
+      {"ssn"})));
+  XVU_RETURN_NOT_OK(db.CreateTable(Schema(
+      "enroll",
+      {{"ssn", ValueType::kString}, {"cno", ValueType::kString}},
+      {"ssn", "cno"})));
+  XVU_RETURN_NOT_OK(db.CreateTable(Schema(
+      "prereq",
+      {{"cno1", ValueType::kString}, {"cno2", ValueType::kString}},
+      {"cno1", "cno2"})));
+  return db;
+}
+
+Result<Atg> MakeRegistrarAtg(const Database& catalog) {
+  Atg atg;
+  Dtd& dtd = atg.dtd();
+  dtd.SetRoot("db");
+  XVU_RETURN_NOT_OK(dtd.AddElement("db", Production::Star("course")));
+  XVU_RETURN_NOT_OK(dtd.AddElement(
+      "course",
+      Production::Sequence({"cno", "title", "prereq", "takenBy"})));
+  XVU_RETURN_NOT_OK(dtd.AddElement("prereq", Production::Star("course")));
+  XVU_RETURN_NOT_OK(dtd.AddElement("takenBy", Production::Star("student")));
+  XVU_RETURN_NOT_OK(
+      dtd.AddElement("student", Production::Sequence({"ssn", "name"})));
+  XVU_RETURN_NOT_OK(dtd.AddElement("cno", Production::Pcdata()));
+  XVU_RETURN_NOT_OK(dtd.AddElement("title", Production::Pcdata()));
+  XVU_RETURN_NOT_OK(dtd.AddElement("ssn", Production::Pcdata()));
+  XVU_RETURN_NOT_OK(dtd.AddElement("name", Production::Pcdata()));
+
+  // Semantic attributes.
+  XVU_RETURN_NOT_OK(atg.SetAttrSchema("db", {}));
+  XVU_RETURN_NOT_OK(atg.SetAttrSchema(
+      "course",
+      {{"cno", ValueType::kString}, {"title", ValueType::kString}}));
+  XVU_RETURN_NOT_OK(
+      atg.SetAttrSchema("prereq", {{"cno", ValueType::kString}}));
+  XVU_RETURN_NOT_OK(
+      atg.SetAttrSchema("takenBy", {{"cno", ValueType::kString}}));
+  XVU_RETURN_NOT_OK(atg.SetAttrSchema(
+      "student",
+      {{"ssn", ValueType::kString}, {"name", ValueType::kString}}));
+  XVU_RETURN_NOT_OK(atg.SetAttrSchema("cno", {{"text", ValueType::kString}}));
+  XVU_RETURN_NOT_OK(
+      atg.SetAttrSchema("title", {{"text", ValueType::kString}}));
+  XVU_RETURN_NOT_OK(atg.SetAttrSchema("ssn", {{"text", ValueType::kString}}));
+  XVU_RETURN_NOT_OK(
+      atg.SetAttrSchema("name", {{"text", ValueType::kString}}));
+
+  // Q_db_course: the CS department's courses (Fig.2).
+  {
+    SpjQueryBuilder b(&catalog);
+    auto q = b.From("course", "c")
+                 .WhereConst("c.dept", Value::Str("CS"))
+                 .Select("c.cno", "cno")
+                 .Select("c.title", "title")
+                 .Build();
+    if (!q.ok()) return q.status();
+    XVU_RETURN_NOT_OK(
+        atg.SetStarRule("db", q->WithKeyPreservation(catalog)));
+  }
+  // course -> cno, title, prereq, takenBy projections ($course = (cno,title)).
+  XVU_RETURN_NOT_OK(atg.SetSequenceProjection("course", "cno", {0}));
+  XVU_RETURN_NOT_OK(atg.SetSequenceProjection("course", "title", {1}));
+  XVU_RETURN_NOT_OK(atg.SetSequenceProjection("course", "prereq", {0}));
+  XVU_RETURN_NOT_OK(atg.SetSequenceProjection("course", "takenBy", {0}));
+  // Q_prereq_course($prereq = (cno)).
+  {
+    SpjQueryBuilder b(&catalog);
+    auto q = b.From("prereq", "p")
+                 .From("course", "c")
+                 .WhereParam("p.cno1", 0)
+                 .WhereEq("p.cno2", "c.cno")
+                 .Select("c.cno", "cno")
+                 .Select("c.title", "title")
+                 .Build();
+    if (!q.ok()) return q.status();
+    XVU_RETURN_NOT_OK(
+        atg.SetStarRule("prereq", q->WithKeyPreservation(catalog)));
+  }
+  // Q_takenBy_student($takenBy = (cno)).
+  {
+    SpjQueryBuilder b(&catalog);
+    auto q = b.From("enroll", "e")
+                 .From("student", "s")
+                 .WhereParam("e.cno", 0)
+                 .WhereEq("e.ssn", "s.ssn")
+                 .Select("s.ssn", "ssn")
+                 .Select("s.name", "name")
+                 .Build();
+    if (!q.ok()) return q.status();
+    XVU_RETURN_NOT_OK(
+        atg.SetStarRule("takenBy", q->WithKeyPreservation(catalog)));
+  }
+  // student -> ssn, name.
+  XVU_RETURN_NOT_OK(atg.SetSequenceProjection("student", "ssn", {0}));
+  XVU_RETURN_NOT_OK(atg.SetSequenceProjection("student", "name", {1}));
+  return atg;
+}
+
+Status LoadRegistrarSample(Database* db) {
+  auto ins = [&](const char* table, std::vector<Value> row) -> Status {
+    return db->GetTable(table)->Insert(std::move(row));
+  };
+  auto s = [](const char* v) { return Value::Str(v); };
+  XVU_RETURN_NOT_OK(ins("course", {s("CS650"), s("Advanced Databases"),
+                                   s("CS")}));
+  XVU_RETURN_NOT_OK(ins("course", {s("CS320"), s("Database Systems"),
+                                   s("CS")}));
+  XVU_RETURN_NOT_OK(ins("course", {s("CS240"), s("Data Structures"),
+                                   s("CS")}));
+  XVU_RETURN_NOT_OK(ins("course", {s("CS140"), s("Programming"), s("CS")}));
+  XVU_RETURN_NOT_OK(ins("course", {s("MA100"), s("Calculus"), s("MATH")}));
+  XVU_RETURN_NOT_OK(ins("prereq", {s("CS650"), s("CS320")}));
+  XVU_RETURN_NOT_OK(ins("prereq", {s("CS320"), s("CS140")}));
+  XVU_RETURN_NOT_OK(ins("prereq", {s("CS240"), s("CS140")}));
+  XVU_RETURN_NOT_OK(ins("student", {s("S01"), s("Alice")}));
+  XVU_RETURN_NOT_OK(ins("student", {s("S02"), s("Bob")}));
+  XVU_RETURN_NOT_OK(ins("student", {s("S03"), s("Carol")}));
+  XVU_RETURN_NOT_OK(ins("enroll", {s("S01"), s("CS650")}));
+  XVU_RETURN_NOT_OK(ins("enroll", {s("S01"), s("CS320")}));
+  XVU_RETURN_NOT_OK(ins("enroll", {s("S02"), s("CS320")}));
+  XVU_RETURN_NOT_OK(ins("enroll", {s("S02"), s("CS240")}));
+  XVU_RETURN_NOT_OK(ins("enroll", {s("S03"), s("CS140")}));
+  return Status::OK();
+}
+
+}  // namespace xvu

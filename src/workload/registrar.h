@@ -1,0 +1,34 @@
+#ifndef XVU_WORKLOAD_REGISTRAR_H_
+#define XVU_WORKLOAD_REGISTRAR_H_
+
+#include "src/atg/atg.h"
+#include "src/common/status.h"
+#include "src/relational/database.h"
+
+namespace xvu {
+
+/// The registrar example of the paper (Example 1 / Fig.1 / Fig.2).
+///
+/// Relational schema R0 (keys underlined in the paper):
+///   course(cno, title, dept)      project(pno, title, dept)
+///   student(ssn, name)            enroll(ssn, cno)
+///   prereq(cno1, cno2)
+///
+/// ATG σ0 publishes the CS department's registration data under the
+/// recursive DTD D0:
+///   db -> course*         course -> cno, title, prereq, takenBy
+///   prereq -> course*     takenBy -> student*
+///   student -> ssn, name  cno, title, ssn, name -> PCDATA
+Result<Database> MakeRegistrarDatabase();
+
+/// The σ0 ATG of Fig.2 (with rule queries extended to key preservation).
+Result<Atg> MakeRegistrarAtg(const Database& catalog);
+
+/// Populates the instance I0 matching Fig.1: CS650 with prerequisites
+/// CS320 (and CS320's own prerequisite hierarchy), shared student
+/// enrolments so that subtree sharing and side effects are exercised.
+Status LoadRegistrarSample(Database* db);
+
+}  // namespace xvu
+
+#endif  // XVU_WORKLOAD_REGISTRAR_H_

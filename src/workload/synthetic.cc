@@ -1,0 +1,204 @@
+#include "src/workload/synthetic.h"
+
+#include "src/common/rng.h"
+
+namespace xvu {
+
+namespace {
+
+Schema WideSchema(const std::string& name, char prefix) {
+  std::vector<Column> cols;
+  cols.push_back(Column{std::string(1, prefix) + "1", ValueType::kInt});
+  for (int i = 2; i <= 4; ++i) {
+    cols.push_back(
+        Column{std::string(1, prefix) + std::to_string(i), ValueType::kBool});
+  }
+  for (int i = 5; i <= 16; ++i) {
+    cols.push_back(
+        Column{std::string(1, prefix) + std::to_string(i), ValueType::kInt});
+  }
+  return Schema(name, std::move(cols), {std::string(1, prefix) + "1"});
+}
+
+Tuple WideRow(int64_t id, const bool bools[3], int64_t payload, Rng* rng) {
+  Tuple row;
+  row.reserve(16);
+  row.push_back(Value::Int(id));
+  for (int i = 0; i < 3; ++i) row.push_back(Value::Bool(bools[i]));
+  row.push_back(Value::Int(payload));
+  for (int i = 6; i <= 16; ++i) {
+    row.push_back(Value::Int(static_cast<int64_t>(rng->Below(1 << 20))));
+  }
+  return row;
+}
+
+}  // namespace
+
+Result<Database> MakeSyntheticDatabase(const SyntheticSpec& spec) {
+  Database db;
+  XVU_RETURN_NOT_OK(db.CreateTable(WideSchema("C", 'c')));
+  XVU_RETURN_NOT_OK(db.CreateTable(WideSchema("F", 'f')));
+  XVU_RETURN_NOT_OK(db.CreateTable(Schema(
+      "H", {{"h1", ValueType::kInt}, {"h2", ValueType::kInt}},
+      {"h1", "h2"})));
+  XVU_RETURN_NOT_OK(db.CreateTable(WideSchema("CU", 'u')));
+  XVU_RETURN_NOT_OK(db.CreateTable(Schema(
+      "K", {{"k1", ValueType::kInt}, {"tag", ValueType::kBool}}, {"k1"})));
+  XVU_RETURN_NOT_OK(db.CreateTable(Schema(
+      "G",
+      {{"g1", ValueType::kInt},
+       {"grp", ValueType::kInt},
+       {"tag", ValueType::kBool}},
+      {"g1"})));
+
+  Rng rng(spec.seed);
+  const int64_t n = static_cast<int64_t>(spec.num_c);
+  const int64_t universe =
+      n + static_cast<int64_t>(spec.cu_extra_frac * static_cast<double>(n));
+
+  Table* tc = db.GetTable("C");
+  Table* tf = db.GetTable("F");
+  Table* th = db.GetTable("H");
+  Table* tu = db.GetTable("CU");
+  Table* tk = db.GetTable("K");
+  Table* tg = db.GetTable("G");
+
+  for (int64_t id = 1; id <= n; ++id) {
+    bool cb[3] = {rng.Chance(0.5), rng.Chance(0.5), rng.Chance(0.5)};
+    int64_t payload = id % spec.payload_domain;
+    XVU_RETURN_NOT_OK(tc->Insert(WideRow(id, cb, payload, &rng)));
+    bool fb[3];
+    if (rng.Chance(spec.f_match_prob)) {
+      fb[0] = cb[0];
+      fb[1] = cb[1];
+      fb[2] = cb[2];
+    } else {
+      // Force at least one mismatch so the filter really fails.
+      fb[0] = !cb[0];
+      fb[1] = rng.Chance(0.5);
+      fb[2] = rng.Chance(0.5);
+    }
+    XVU_RETURN_NOT_OK(tf->Insert(WideRow(id, fb, payload, &rng)));
+  }
+  // Recursion edges, child-driven with h1 < h2 (acyclic by construction):
+  // every id in [2, universe] gets one parent among the C ids below it and,
+  // with probability share_prob, a second one — bounded in-degree keeps
+  // the reachability matrix near-linear while preserving subtree sharing.
+  for (int64_t child = 2; child <= universe; ++child) {
+    int64_t parent_bound = std::min<int64_t>(child - 1, n);
+    int64_t p1 = rng.Range(1, parent_bound);
+    (void)th->InsertIfAbsent({Value::Int(p1), Value::Int(child)});
+    if (rng.Chance(spec.share_prob) && parent_bound > 1) {
+      int64_t p2 = rng.Range(1, parent_bound);
+      if (p2 != p1) {
+        (void)th->InsertIfAbsent({Value::Int(p2), Value::Int(child)});
+      }
+    }
+  }
+  // CU: the whole reachable universe; payload consistent with C so the
+  // (type, $C) identity of a shared node is well defined.
+  for (int64_t id = 1; id <= universe; ++id) {
+    bool ub[3] = {rng.Chance(0.5), rng.Chance(0.5), rng.Chance(0.5)};
+    XVU_RETURN_NOT_OK(
+        tu->Insert(WideRow(id, ub, id % spec.payload_domain, &rng)));
+  }
+  // Buddies dimension: K covers a fraction of ids; G rows per group with
+  // tunable tag uniformity.
+  int64_t g_id = 0;
+  for (int64_t id = 1; id <= n; ++id) {
+    if (rng.Chance(spec.k_coverage)) {
+      XVU_RETURN_NOT_OK(
+          tk->Insert({Value::Int(id), Value::Bool(rng.Chance(0.5))}));
+    }
+    bool uniform = rng.Chance(spec.g_uniform_prob);
+    bool first_tag = rng.Chance(0.5);
+    for (size_t g = 0; g < spec.g_per_group; ++g) {
+      bool tag = uniform ? first_tag
+                         : (g == 0 ? first_tag : !first_tag);
+      XVU_RETURN_NOT_OK(tg->Insert(
+          {Value::Int(++g_id), Value::Int(id), Value::Bool(tag)}));
+    }
+  }
+  return db;
+}
+
+Result<Atg> MakeSyntheticAtg(const Database& catalog) {
+  Atg atg;
+  Dtd& dtd = atg.dtd();
+  dtd.SetRoot("db");
+  XVU_RETURN_NOT_OK(dtd.AddElement("db", Production::Star("C")));
+  XVU_RETURN_NOT_OK(dtd.AddElement(
+      "C", Production::Sequence({"cid", "payload", "sub", "buddies"})));
+  XVU_RETURN_NOT_OK(dtd.AddElement("sub", Production::Star("C")));
+  XVU_RETURN_NOT_OK(dtd.AddElement("buddies", Production::Star("B")));
+  XVU_RETURN_NOT_OK(dtd.AddElement("cid", Production::Pcdata()));
+  XVU_RETURN_NOT_OK(dtd.AddElement("payload", Production::Pcdata()));
+  XVU_RETURN_NOT_OK(dtd.AddElement("B", Production::Pcdata()));
+
+  XVU_RETURN_NOT_OK(atg.SetAttrSchema("db", {}));
+  XVU_RETURN_NOT_OK(atg.SetAttrSchema(
+      "C", {{"c1", ValueType::kInt}, {"c5", ValueType::kInt}}));
+  XVU_RETURN_NOT_OK(atg.SetAttrSchema("sub", {{"c1", ValueType::kInt}}));
+  XVU_RETURN_NOT_OK(
+      atg.SetAttrSchema("buddies", {{"c1", ValueType::kInt}}));
+  XVU_RETURN_NOT_OK(atg.SetAttrSchema("cid", {{"text", ValueType::kInt}}));
+  XVU_RETURN_NOT_OK(
+      atg.SetAttrSchema("payload", {{"text", ValueType::kInt}}));
+  XVU_RETURN_NOT_OK(atg.SetAttrSchema("B", {{"g1", ValueType::kInt}}));
+
+  // db -> C*: all C tuples.
+  {
+    SpjQueryBuilder b(&catalog);
+    auto q = b.From("C", "c")
+                 .Select("c.c1", "c1")
+                 .Select("c.c5", "c5")
+                 .Build();
+    if (!q.ok()) return q.status();
+    XVU_RETURN_NOT_OK(atg.SetStarRule("db", q->WithKeyPreservation(catalog)));
+  }
+  XVU_RETURN_NOT_OK(atg.SetSequenceProjection("C", "cid", {0}));
+  XVU_RETURN_NOT_OK(atg.SetSequenceProjection("C", "payload", {1}));
+  XVU_RETURN_NOT_OK(atg.SetSequenceProjection("C", "sub", {0}));
+  XVU_RETURN_NOT_OK(atg.SetSequenceProjection("C", "buddies", {0}));
+  // sub -> C*: the recursion of Fig.10(a):
+  //   π_{u1,u5}(σ_{c1=$0 ∧ f1=c1 ∧ h1=c1 ∧ h2=u1 ∧ c2=f2 ∧ c3=f3 ∧ c4=f4}
+  //             (C×F×H×CU))
+  {
+    SpjQueryBuilder b(&catalog);
+    auto q = b.From("C", "c")
+                 .From("F", "f")
+                 .From("H", "h")
+                 .From("CU", "u")
+                 .WhereParam("c.c1", 0)
+                 .WhereEq("f.f1", "c.c1")
+                 .WhereEq("h.h1", "c.c1")
+                 .WhereEq("u.u1", "h.h2")
+                 .WhereEq("c.c2", "f.f2")
+                 .WhereEq("c.c3", "f.f3")
+                 .WhereEq("c.c4", "f.f4")
+                 .Select("u.u1", "c1")
+                 .Select("u.u5", "c5")
+                 .Build();
+    if (!q.ok()) return q.status();
+    XVU_RETURN_NOT_OK(
+        atg.SetStarRule("sub", q->WithKeyPreservation(catalog)));
+  }
+  // buddies -> B*: the Example 8 gadget — the parent's K.tag selects the
+  // G rows of its group.
+  {
+    SpjQueryBuilder b(&catalog);
+    auto q = b.From("K", "k")
+                 .From("G", "g")
+                 .WhereParam("k.k1", 0)
+                 .WhereParam("g.grp", 0)
+                 .WhereEq("g.tag", "k.tag")
+                 .Select("g.g1", "g1")
+                 .Build();
+    if (!q.ok()) return q.status();
+    XVU_RETURN_NOT_OK(
+        atg.SetStarRule("buddies", q->WithKeyPreservation(catalog)));
+  }
+  return atg;
+}
+
+}  // namespace xvu

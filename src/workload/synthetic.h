@@ -1,0 +1,80 @@
+#ifndef XVU_WORKLOAD_SYNTHETIC_H_
+#define XVU_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "src/atg/atg.h"
+#include "src/common/status.h"
+#include "src/relational/database.h"
+
+namespace xvu {
+
+/// Parameters of the synthetic dataset of Section 5 (Fig.10).
+///
+/// Base relations:
+///   C(c1, c2..c4, c5..c16)   — c1 int key, c2..c4 bool (the join-filter
+///                              columns), c5 = payload (c1 mod
+///                              payload_domain), rest int
+///   F(f1, f2..f4, f5..f16)   — same shape; the generator makes f2..f4
+///                              match C's bools with prob `f_match_prob`
+///                              ("how many joining C and F tuples were
+///                              filtered out")
+///   H(h1, h2)                — key (h1, h2), h1 < h2: the recursion
+///                              edges; every id gets 1 + Bernoulli(
+///                              share_prob) parents
+///   CU(u1, u2..u16)          — the C universe: every h2 joins a CU tuple.
+///                              The paper materialized 100M rows for this
+///                              guarantee; we materialize only the
+///                              reachable id domain [1, num_c + extra]
+///                              (see DESIGN.md, substitutions)
+///   K(k1, tag), G(g1, grp, tag) — the "buddies" dimension reproducing the
+///                              Example 8 / Section 4.3 insertion gadget:
+///                              a parent's K.tag selects the G rows of its
+///                              grp as buddies, so inserting a buddy under
+///                              a K-less parent leaves tags as free
+///                              Boolean variables for the SAT encoding.
+///
+/// XML view (Fig.10(a)):
+///   db -> C*                           all C tuples
+///   C  -> cid, payload, sub, buddies   $C = (c1, c5)
+///   sub -> C*                          π(σ_{c1=f1=h1 ∧ h2=u1 ∧ c2=f2 ∧
+///                                      c3=f3 ∧ c4=f4}(C×F×H×CU)),
+///                                      children drawn from CU
+///   buddies -> B*                      σ_{k1=$c1 ∧ g.grp=$c1 ∧
+///                                      g.tag=k.tag}(K×G)
+/// Subtree sharing arises because every child C node is also a top-level
+/// node and may be hit by several H edges.
+struct SyntheticSpec {
+  size_t num_c = 1000;
+  /// Probability that a child id gets a second incoming H edge (a second
+  /// parent). The paper reports 31.4% shared C instances; ~0.35 reproduces
+  /// that while keeping the reachability matrix near-linear in |C| (a
+  /// uniform fan-out-3 H would make |M| quadratic and 100K+ sizes
+  /// intractable — see DESIGN.md).
+  double share_prob = 0.35;
+  /// Probability that a C tuple's F row matches on c2..c4 (parents whose
+  /// filter fails publish no sub children).
+  double f_match_prob = 0.6;
+  /// Fraction of extra CU-only ids beyond num_c (leaf children that exist
+  /// only in the universe).
+  double cu_extra_frac = 0.05;
+  /// Fraction of C ids having a K row (buddies visible).
+  double k_coverage = 0.4;
+  /// Average G rows per group.
+  size_t g_per_group = 2;
+  /// Probability that a group's G tags are uniform — an insertion of a new
+  /// buddy under a K-less parent of that group is SAT-translatable exactly
+  /// when the tags are uniform, so this tunes the paper's 78% solver
+  /// success rate.
+  double g_uniform_prob = 0.78;
+  int64_t payload_domain = 100;
+  uint64_t seed = 7;
+};
+
+Result<Database> MakeSyntheticDatabase(const SyntheticSpec& spec);
+
+Result<Atg> MakeSyntheticAtg(const Database& catalog);
+
+}  // namespace xvu
+
+#endif  // XVU_WORKLOAD_SYNTHETIC_H_

@@ -1,0 +1,176 @@
+#include "src/workload/workloads.h"
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/rng.h"
+
+namespace xvu {
+
+const char* WorkloadClassName(WorkloadClass w) {
+  switch (w) {
+    case WorkloadClass::kW1: return "W1";
+    case WorkloadClass::kW2: return "W2";
+    case WorkloadClass::kW3: return "W3";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Shared scan of the synthetic base: which parents pass the C-F Boolean
+/// filter (and thus publish sub children), and the H edges under them.
+struct SyntheticShape {
+  std::vector<std::pair<int64_t, int64_t>> live_edges;  // (h1, h2), h1 passes
+  std::unordered_set<int64_t> passing;                  // filter-passing ids
+  std::unordered_set<int64_t> has_k;                    // ids with a K row
+  int64_t max_universe_id = 0;                          // max CU id
+  int64_t max_g_id = 0;
+};
+
+SyntheticShape ScanShape(const Database& base) {
+  SyntheticShape s;
+  std::unordered_map<int64_t, std::array<bool, 3>> cbools;
+  const Table* tc = base.GetTable("C");
+  tc->ForEach([&](const Tuple& row) {
+    cbools[row[0].as_int()] = {row[1].as_bool(), row[2].as_bool(),
+                               row[3].as_bool()};
+  });
+  const Table* tf = base.GetTable("F");
+  tf->ForEach([&](const Tuple& row) {
+    auto it = cbools.find(row[0].as_int());
+    if (it == cbools.end()) return;
+    if (it->second[0] == row[1].as_bool() &&
+        it->second[1] == row[2].as_bool() &&
+        it->second[2] == row[3].as_bool()) {
+      s.passing.insert(row[0].as_int());
+    }
+  });
+  const Table* th = base.GetTable("H");
+  th->ForEach([&](const Tuple& row) {
+    int64_t h1 = row[0].as_int(), h2 = row[1].as_int();
+    if (s.passing.count(h1) > 0) s.live_edges.emplace_back(h1, h2);
+  });
+  std::sort(s.live_edges.begin(), s.live_edges.end());
+  const Table* tu = base.GetTable("CU");
+  tu->ForEach([&](const Tuple& row) {
+    s.max_universe_id = std::max(s.max_universe_id, row[0].as_int());
+  });
+  const Table* tk = base.GetTable("K");
+  tk->ForEach([&](const Tuple& row) { s.has_k.insert(row[0].as_int()); });
+  const Table* tg = base.GetTable("G");
+  tg->ForEach([&](const Tuple& row) {
+    s.max_g_id = std::max(s.max_g_id, row[0].as_int());
+  });
+  return s;
+}
+
+std::string DeleteStatement(WorkloadClass cls, int64_t h1, int64_t h2) {
+  std::string p = std::to_string(h1), c = std::to_string(h2);
+  switch (cls) {
+    case WorkloadClass::kW1:
+      // "//" + value filters.
+      return "delete //C[cid=\"" + p + "\"]/sub/C[cid=\"" + c + "\"]";
+    case WorkloadClass::kW2:
+      // "/" + value filters.
+      return "delete C[cid=\"" + p + "\"]/sub/C[cid=\"" + c + "\"]";
+    case WorkloadClass::kW3:
+      // "/" + structural and value filters.
+      return "delete C[cid=\"" + p + "\" and sub/C]/sub/C[cid=\"" + c +
+             "\"]";
+  }
+  return "";
+}
+
+std::string InsertPath(WorkloadClass cls, int64_t parent,
+                       const char* child_axis) {
+  std::string p = std::to_string(parent);
+  switch (cls) {
+    case WorkloadClass::kW1:
+      return "//C[cid=\"" + p + "\"]/" + child_axis;
+    case WorkloadClass::kW2:
+      return "C[cid=\"" + p + "\"]/" + child_axis;
+    case WorkloadClass::kW3:
+      return "C[cid=\"" + p + "\" and payload]/" + std::string(child_axis);
+  }
+  return "";
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> MakeDeletionWorkload(WorkloadClass cls,
+                                                      const Database& base,
+                                                      size_t count,
+                                                      uint64_t seed) {
+  SyntheticShape s = ScanShape(base);
+  if (s.live_edges.empty()) {
+    return Status::InvalidArgument(
+        "synthetic dataset has no live sub edges to delete");
+  }
+  Rng rng(seed);
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const auto& [h1, h2] = s.live_edges[rng.Below(s.live_edges.size())];
+    out.push_back(DeleteStatement(cls, h1, h2));
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> MakeInsertionWorkload(WorkloadClass cls,
+                                                       const Database& base,
+                                                       size_t count,
+                                                       uint64_t seed) {
+  SyntheticShape s = ScanShape(base);
+  if (s.passing.empty()) {
+    return Status::InvalidArgument("no filter-passing parents to insert under");
+  }
+  std::vector<int64_t> passing(s.passing.begin(), s.passing.end());
+  std::sort(passing.begin(), passing.end());
+  // Parents without K rows: buddy inserts there exercise the SAT path.
+  std::vector<int64_t> k_less;
+  for (int64_t id : passing) {
+    if (s.has_k.count(id) == 0) k_less.push_back(id);
+  }
+  Rng rng(seed);
+  std::vector<std::string> out;
+  out.reserve(count);
+  int64_t fresh_c = s.max_universe_id;
+  int64_t fresh_g = s.max_g_id;
+  for (size_t i = 0; i < count; ++i) {
+    if (i % 3 == 2 && !k_less.empty()) {
+      // Buddy insertion (Example 8 gadget -> SAT).
+      int64_t parent = k_less[rng.Below(k_less.size())];
+      ++fresh_g;
+      out.push_back("insert B(" + std::to_string(fresh_g) + ") into " +
+                    InsertPath(cls, parent, "buddies"));
+    } else {
+      // New leaf child under sub (H + CU tuple templates).
+      int64_t parent = passing[rng.Below(passing.size())];
+      ++fresh_c;
+      int64_t payload = fresh_c % 100;
+      out.push_back("insert C(" + std::to_string(fresh_c) + ", " +
+                    std::to_string(payload) + ") into " +
+                    InsertPath(cls, parent, "sub"));
+    }
+  }
+  return out;
+}
+
+std::string PayloadFanoutPath(int64_t first, size_t k) {
+  std::string filter;
+  for (size_t i = 0; i < k; ++i) {
+    if (i > 0) filter += " or ";
+    filter += "payload=\"" + std::to_string(first + static_cast<int64_t>(i)) +
+              "\"";
+  }
+  // The structural conjunct keeps only parents whose C-F filter holds
+  // (their sub already has children), so insertions through this path are
+  // translatable: under a failing parent no child edge can be derived.
+  return "//C[(" + filter + ") and sub/C]/sub";
+}
+
+}  // namespace xvu

@@ -1,0 +1,42 @@
+#ifndef XVU_WORKLOAD_WORKLOADS_H_
+#define XVU_WORKLOAD_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/relational/database.h"
+
+namespace xvu {
+
+/// The three update classes of Section 5, characterized by the XPath
+/// expressions defining the updates:
+///   W1: "//" (recursive descent) + value-based filters
+///   W2: "/"  (child steps only)  + value-based filters
+///   W3: "/"  + both structural and value filters
+enum class WorkloadClass { kW1, kW2, kW3 };
+
+const char* WorkloadClassName(WorkloadClass w);
+
+/// Generates `count` deletion statements of the given class against the
+/// synthetic view (each targets an edge that actually exists, sampled from
+/// the H relation restricted to parents passing the C-F filter).
+Result<std::vector<std::string>> MakeDeletionWorkload(
+    WorkloadClass cls, const Database& base, size_t count, uint64_t seed);
+
+/// Generates `count` insertion statements of the given class. Two op
+/// shapes are mixed: `insert C(fresh_id, payload) into .../sub` (new leaf
+/// child: H + CU templates) and `insert B(fresh_g) into .../buddies`
+/// (the Example 8 gadget: free Boolean tags, exercising the SAT encoding;
+/// translatable with probability ≈ the generator's g_uniform_prob).
+Result<std::vector<std::string>> MakeInsertionWorkload(
+    WorkloadClass cls, const Database& base, size_t count, uint64_t seed);
+
+/// An XPath selecting the sub nodes of every C whose payload is one of
+/// `k` consecutive values starting at `first` — used to sweep |r[[p]]| /
+/// |Ep(r)| for Fig.11(g).
+std::string PayloadFanoutPath(int64_t first, size_t k);
+
+}  // namespace xvu
+
+#endif  // XVU_WORKLOAD_WORKLOADS_H_

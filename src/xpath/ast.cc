@@ -1,0 +1,103 @@
+#include "src/xpath/ast.h"
+
+namespace xvu {
+
+std::string PathStep::ToString() const {
+  std::string out;
+  switch (axis) {
+    case Axis::kSelf:
+      out = ".";
+      break;
+    case Axis::kChild:
+      out = wildcard ? "*" : label;
+      break;
+    case Axis::kDescOrSelf:
+      out = "//";
+      break;
+  }
+  for (const FilterPtr& f : filters) {
+    out += "[" + f->ToString() + "]";
+  }
+  return out;
+}
+
+std::string Path::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const PathStep& s = steps[i];
+    if (s.axis == PathStep::Axis::kDescOrSelf) {
+      // "//" renders as its own separator.
+      out += "//";
+      for (const FilterPtr& f : s.filters) out += "[" + f->ToString() + "]";
+      continue;
+    }
+    if (i > 0 && !out.empty() && out.back() != '/') out += "/";
+    out += s.ToString();
+  }
+  return out.empty() ? "." : out;
+}
+
+FilterPtr FilterExpr::MakePath(Path p) {
+  auto* e = new FilterExpr();
+  e->kind_ = Kind::kPath;
+  e->path_ = std::move(p);
+  return FilterPtr(e);
+}
+
+FilterPtr FilterExpr::MakePathEq(Path p, std::string value) {
+  auto* e = new FilterExpr();
+  e->kind_ = Kind::kPathEq;
+  e->path_ = std::move(p);
+  e->value_ = std::move(value);
+  return FilterPtr(e);
+}
+
+FilterPtr FilterExpr::MakeLabelEq(std::string label) {
+  auto* e = new FilterExpr();
+  e->kind_ = Kind::kLabelEq;
+  e->label_ = std::move(label);
+  return FilterPtr(e);
+}
+
+FilterPtr FilterExpr::MakeAnd(FilterPtr l, FilterPtr r) {
+  auto* e = new FilterExpr();
+  e->kind_ = Kind::kAnd;
+  e->lhs_ = std::move(l);
+  e->rhs_ = std::move(r);
+  return FilterPtr(e);
+}
+
+FilterPtr FilterExpr::MakeOr(FilterPtr l, FilterPtr r) {
+  auto* e = new FilterExpr();
+  e->kind_ = Kind::kOr;
+  e->lhs_ = std::move(l);
+  e->rhs_ = std::move(r);
+  return FilterPtr(e);
+}
+
+FilterPtr FilterExpr::MakeNot(FilterPtr x) {
+  auto* e = new FilterExpr();
+  e->kind_ = Kind::kNot;
+  e->lhs_ = std::move(x);
+  return FilterPtr(e);
+}
+
+std::string FilterExpr::ToString() const {
+  switch (kind_) {
+    case Kind::kPath:
+      return path_.ToString();
+    case Kind::kPathEq:
+      return path_.ToString() + "=\"" + value_ + "\"";
+    case Kind::kLabelEq:
+      return "label()=" + label_;
+    case Kind::kAnd:
+      return "(" + lhs_->ToString() + " and " + rhs_->ToString() + ")";
+    case Kind::kOr:
+      return "(" + lhs_->ToString() + " or " + rhs_->ToString() + ")";
+    case Kind::kNot:
+      return "not(" + lhs_->ToString() + ")";
+  }
+  return "?";
+}
+
+}  // namespace xvu

@@ -1,0 +1,73 @@
+#ifndef XVU_XPATH_AST_H_
+#define XVU_XPATH_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xvu {
+
+class FilterExpr;
+using FilterPtr = std::shared_ptr<const FilterExpr>;
+
+/// One step of an XPath expression
+///   p ::= ε | A | * | // | p/p | p[q]
+/// Filters attached to a step apply after the step's node test.
+struct PathStep {
+  enum class Axis {
+    kSelf,        ///< ε (self axis; exists to carry filters)
+    kChild,       ///< A or * (see `wildcard`)
+    kDescOrSelf,  ///< //
+  };
+  Axis axis = Axis::kSelf;
+  bool wildcard = false;  ///< kChild only: * instead of a label test.
+  std::string label;      ///< kChild with !wildcard: required tag.
+  std::vector<FilterPtr> filters;
+
+  std::string ToString() const;
+};
+
+/// An XPath expression: a sequence of steps, evaluated from the view root.
+struct Path {
+  std::vector<PathStep> steps;
+
+  bool empty() const { return steps.empty(); }
+  std::string ToString() const;
+};
+
+/// Filter (qualifier) expression
+///   q ::= p | p = "s" | label() = A | q ∧ q | q ∨ q | ¬q
+class FilterExpr {
+ public:
+  enum class Kind { kPath, kPathEq, kLabelEq, kAnd, kOr, kNot };
+
+  Kind kind() const { return kind_; }
+  const Path& path() const { return path_; }
+  const std::string& value() const { return value_; }
+  const std::string& label() const { return label_; }
+  const FilterPtr& lhs() const { return lhs_; }
+  const FilterPtr& rhs() const { return rhs_; }
+
+  static FilterPtr MakePath(Path p);
+  static FilterPtr MakePathEq(Path p, std::string value);
+  static FilterPtr MakeLabelEq(std::string label);
+  static FilterPtr MakeAnd(FilterPtr l, FilterPtr r);
+  static FilterPtr MakeOr(FilterPtr l, FilterPtr r);
+  static FilterPtr MakeNot(FilterPtr e);
+
+  std::string ToString() const;
+
+ private:
+  FilterExpr() = default;
+
+  Kind kind_ = Kind::kPath;
+  Path path_;
+  std::string value_;
+  std::string label_;
+  FilterPtr lhs_;
+  FilterPtr rhs_;
+};
+
+}  // namespace xvu
+
+#endif  // XVU_XPATH_AST_H_

@@ -1,0 +1,70 @@
+#include "src/xpath/normal_form.h"
+
+namespace xvu {
+
+std::string NormalStep::ToString() const {
+  switch (kind) {
+    case Kind::kFilter:
+      return ".[" + filter->ToString() + "]";
+    case Kind::kLabel:
+      return label;
+    case Kind::kWildcard:
+      return "*";
+    case Kind::kDescOrSelf:
+      return "//";
+  }
+  return "?";
+}
+
+std::string NormalPath::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (i > 0 && steps[i].kind != NormalStep::Kind::kDescOrSelf &&
+        steps[i - 1].kind != NormalStep::Kind::kDescOrSelf) {
+      out += "/";
+    }
+    out += steps[i].ToString();
+  }
+  return out.empty() ? "." : out;
+}
+
+NormalPath Normalize(const Path& p) {
+  NormalPath np;
+  for (const PathStep& s : p.steps) {
+    switch (s.axis) {
+      case PathStep::Axis::kSelf:
+        break;  // contributes only its filters
+      case PathStep::Axis::kChild: {
+        NormalStep ns;
+        if (s.wildcard) {
+          ns.kind = NormalStep::Kind::kWildcard;
+        } else {
+          ns.kind = NormalStep::Kind::kLabel;
+          ns.label = s.label;
+        }
+        np.steps.push_back(std::move(ns));
+        break;
+      }
+      case PathStep::Axis::kDescOrSelf: {
+        NormalStep ns;
+        ns.kind = NormalStep::Kind::kDescOrSelf;
+        np.steps.push_back(std::move(ns));
+        break;
+      }
+    }
+    if (!s.filters.empty()) {
+      // ε[q1]...[qn] ≡ ε[q1 ∧ ... ∧ qn]
+      FilterPtr combined = s.filters[0];
+      for (size_t i = 1; i < s.filters.size(); ++i) {
+        combined = FilterExpr::MakeAnd(combined, s.filters[i]);
+      }
+      NormalStep fs;
+      fs.kind = NormalStep::Kind::kFilter;
+      fs.filter = std::move(combined);
+      np.steps.push_back(std::move(fs));
+    }
+  }
+  return np;
+}
+
+}  // namespace xvu

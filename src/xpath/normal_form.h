@@ -1,0 +1,35 @@
+#ifndef XVU_XPATH_NORMAL_FORM_H_
+#define XVU_XPATH_NORMAL_FORM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/xpath/ast.h"
+
+namespace xvu {
+
+/// One step of the normal form η1/.../ηn of Section 3.2, where each ηi is
+/// (a) ε[q], (b) a label A, (c) the wildcard *, or (d) //.
+struct NormalStep {
+  enum class Kind { kFilter, kLabel, kWildcard, kDescOrSelf };
+  Kind kind = Kind::kFilter;
+  FilterPtr filter;   ///< kFilter: the combined qualifier.
+  std::string label;  ///< kLabel: the tag test.
+
+  std::string ToString() const;
+};
+
+struct NormalPath {
+  std::vector<NormalStep> steps;
+
+  std::string ToString() const;
+};
+
+/// Rewrites `p` into normal form in O(|p|) using the rules of Section 3.2:
+///   p[q] ≡ p/ε[q]        (filters split into their own self steps)
+///   ε[q1]...[qn] ≡ ε[q1 ∧ ... ∧ qn]
+NormalPath Normalize(const Path& p);
+
+}  // namespace xvu
+
+#endif  // XVU_XPATH_NORMAL_FORM_H_

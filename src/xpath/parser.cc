@@ -1,0 +1,305 @@
+#include "src/xpath/parser.h"
+
+#include <cctype>
+
+namespace xvu {
+
+namespace {
+
+/// Token kinds produced by the lexer.
+enum class Tok {
+  kEnd,
+  kSlash,        // /
+  kDoubleSlash,  // //
+  kStar,         // *
+  kDot,          // .
+  kLBracket,     // [
+  kRBracket,     // ]
+  kLParen,       // (
+  kRParen,       // )
+  kEq,           // =
+  kName,         // identifier / bareword
+  kString,       // quoted literal
+  kAnd,          // and
+  kOr,           // or
+  kNot,          // not
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& s) : s_(s) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      switch (c) {
+        case '/':
+          if (pos_ + 1 < s_.size() && s_[pos_ + 1] == '/') {
+            out.push_back({Tok::kDoubleSlash, "//"});
+            pos_ += 2;
+          } else {
+            out.push_back({Tok::kSlash, "/"});
+            ++pos_;
+          }
+          continue;
+        case '*': out.push_back({Tok::kStar, "*"}); ++pos_; continue;
+        case '.': out.push_back({Tok::kDot, "."}); ++pos_; continue;
+        case '[': out.push_back({Tok::kLBracket, "["}); ++pos_; continue;
+        case ']': out.push_back({Tok::kRBracket, "]"}); ++pos_; continue;
+        case '(': out.push_back({Tok::kLParen, "("}); ++pos_; continue;
+        case ')': out.push_back({Tok::kRParen, ")"}); ++pos_; continue;
+        case '=': out.push_back({Tok::kEq, "="}); ++pos_; continue;
+        case '"':
+        case '\'': {
+          char quote = c;
+          std::string lit;
+          ++pos_;
+          while (pos_ < s_.size() && s_[pos_] != quote) {
+            lit.push_back(s_[pos_++]);
+          }
+          if (pos_ >= s_.size()) {
+            return Status::InvalidArgument("unterminated string literal");
+          }
+          ++pos_;  // closing quote
+          out.push_back({Tok::kString, lit});
+          continue;
+        }
+        default:
+          break;
+      }
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        std::string name;
+        while (pos_ < s_.size()) {
+          char d = s_[pos_];
+          if (std::isalnum(static_cast<unsigned char>(d)) || d == '_' ||
+              d == '-') {
+            name.push_back(d);
+            ++pos_;
+          } else {
+            break;
+          }
+        }
+        if (name == "and") {
+          out.push_back({Tok::kAnd, name});
+        } else if (name == "or") {
+          out.push_back({Tok::kOr, name});
+        } else if (name == "not") {
+          out.push_back({Tok::kNot, name});
+        } else {
+          out.push_back({Tok::kName, name});
+        }
+        continue;
+      }
+      return Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "' in XPath");
+    }
+    out.push_back({Tok::kEnd, ""});
+    return out;
+  }
+
+ private:
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Result<Path> ParseFullPath() {
+    XVU_ASSIGN_OR_RETURN(Path p, ParsePath());
+    if (Peek().kind != Tok::kEnd) {
+      return Status::InvalidArgument("trailing tokens after XPath: '" +
+                                     Peek().text + "'");
+    }
+    return p;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  Token Take() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+  bool Accept(Tok k) {
+    if (Peek().kind == k) {
+      Take();
+      return true;
+    }
+    return false;
+  }
+
+  static bool StartsStep(Tok k) {
+    return k == Tok::kName || k == Tok::kStar || k == Tok::kDot;
+  }
+
+  Result<Path> ParsePath() {
+    Path p;
+    // Optional leading separators. A leading "//" contributes a
+    // descendant-or-self step; a leading "/" is a no-op (root-relative).
+    if (Accept(Tok::kDoubleSlash)) {
+      PathStep ds;
+      ds.axis = PathStep::Axis::kDescOrSelf;
+      XVU_RETURN_NOT_OK(ParseFilters(&ds));
+      p.steps.push_back(std::move(ds));
+    } else {
+      Accept(Tok::kSlash);
+    }
+    if (!StartsStep(Peek().kind)) {
+      if (p.steps.empty()) {
+        // Pure "." / "" / "/": the self path.
+        PathStep self;
+        self.axis = PathStep::Axis::kSelf;
+        XVU_RETURN_NOT_OK(ParseFilters(&self));
+        if (!self.filters.empty()) p.steps.push_back(std::move(self));
+      }
+      return p;
+    }
+    XVU_RETURN_NOT_OK(ParseStepInto(&p));
+    while (true) {
+      if (Accept(Tok::kDoubleSlash)) {
+        PathStep ds;
+        ds.axis = PathStep::Axis::kDescOrSelf;
+        XVU_RETURN_NOT_OK(ParseFilters(&ds));
+        p.steps.push_back(std::move(ds));
+        if (StartsStep(Peek().kind)) {
+          XVU_RETURN_NOT_OK(ParseStepInto(&p));
+        }
+        continue;
+      }
+      if (Accept(Tok::kSlash)) {
+        XVU_RETURN_NOT_OK(ParseStepInto(&p));
+        continue;
+      }
+      break;
+    }
+    return p;
+  }
+
+  Status ParseStepInto(Path* p) {
+    PathStep step;
+    const Token& t = Peek();
+    if (t.kind == Tok::kName) {
+      step.axis = PathStep::Axis::kChild;
+      step.label = Take().text;
+    } else if (t.kind == Tok::kStar) {
+      Take();
+      step.axis = PathStep::Axis::kChild;
+      step.wildcard = true;
+    } else if (t.kind == Tok::kDot) {
+      Take();
+      step.axis = PathStep::Axis::kSelf;
+    } else {
+      return Status::InvalidArgument("expected step, got '" + t.text + "'");
+    }
+    XVU_RETURN_NOT_OK(ParseFilters(&step));
+    p->steps.push_back(std::move(step));
+    return Status::OK();
+  }
+
+  Status ParseFilters(PathStep* step) {
+    while (Accept(Tok::kLBracket)) {
+      XVU_ASSIGN_OR_RETURN(FilterPtr f, ParseOr());
+      if (!Accept(Tok::kRBracket)) {
+        return Status::InvalidArgument("expected ']' in filter");
+      }
+      step->filters.push_back(std::move(f));
+    }
+    return Status::OK();
+  }
+
+  Result<FilterPtr> ParseOr() {
+    XVU_ASSIGN_OR_RETURN(FilterPtr l, ParseAnd());
+    while (Accept(Tok::kOr)) {
+      XVU_ASSIGN_OR_RETURN(FilterPtr r, ParseAnd());
+      l = FilterExpr::MakeOr(std::move(l), std::move(r));
+    }
+    return l;
+  }
+
+  Result<FilterPtr> ParseAnd() {
+    XVU_ASSIGN_OR_RETURN(FilterPtr l, ParseUnary());
+    while (Accept(Tok::kAnd)) {
+      XVU_ASSIGN_OR_RETURN(FilterPtr r, ParseUnary());
+      l = FilterExpr::MakeAnd(std::move(l), std::move(r));
+    }
+    return l;
+  }
+
+  Result<FilterPtr> ParseUnary() {
+    if (Peek().kind == Tok::kNot) {
+      Take();
+      if (!Accept(Tok::kLParen)) {
+        return Status::InvalidArgument("expected '(' after not");
+      }
+      XVU_ASSIGN_OR_RETURN(FilterPtr inner, ParseOr());
+      if (!Accept(Tok::kRParen)) {
+        return Status::InvalidArgument("expected ')' after not(...)");
+      }
+      return FilterExpr::MakeNot(std::move(inner));
+    }
+    if (Peek().kind == Tok::kLParen) {
+      Take();
+      XVU_ASSIGN_OR_RETURN(FilterPtr inner, ParseOr());
+      if (!Accept(Tok::kRParen)) {
+        return Status::InvalidArgument("expected ')'");
+      }
+      return inner;
+    }
+    // label() = A
+    if (Peek().kind == Tok::kName && Peek().text == "label" &&
+        Peek(1).kind == Tok::kLParen) {
+      Take();  // label
+      Take();  // (
+      if (!Accept(Tok::kRParen)) {
+        return Status::InvalidArgument("expected ')' after label(");
+      }
+      if (!Accept(Tok::kEq)) {
+        return Status::InvalidArgument("expected '=' after label()");
+      }
+      if (Peek().kind != Tok::kName && Peek().kind != Tok::kString) {
+        return Status::InvalidArgument("expected type name after label()=");
+      }
+      return FilterExpr::MakeLabelEq(Take().text);
+    }
+    // path [= literal]
+    XVU_ASSIGN_OR_RETURN(Path p, ParsePath());
+    if (Accept(Tok::kEq)) {
+      const Token& v = Peek();
+      if (v.kind != Tok::kString && v.kind != Tok::kName) {
+        return Status::InvalidArgument("expected literal after '='");
+      }
+      std::string value = Take().text;
+      return FilterExpr::MakePathEq(std::move(p), std::move(value));
+    }
+    if (p.empty()) {
+      return Status::InvalidArgument("empty filter expression");
+    }
+    return FilterExpr::MakePath(std::move(p));
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Path> ParseXPath(const std::string& text) {
+  Lexer lex(text);
+  XVU_ASSIGN_OR_RETURN(std::vector<Token> toks, lex.Run());
+  Parser parser(std::move(toks));
+  return parser.ParseFullPath();
+}
+
+}  // namespace xvu

@@ -1,0 +1,29 @@
+#ifndef XVU_XPATH_PARSER_H_
+#define XVU_XPATH_PARSER_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/xpath/ast.h"
+
+namespace xvu {
+
+/// Parses the XPath fragment of Section 2.1:
+///
+///   p ::= ε | A | * | // | p/p | p[q]
+///   q ::= p | p = "s" | label() = A | q and q | q or q | not(q)
+///
+/// Concrete syntax accepted:
+///   - steps separated by `/`; `//` for descendant-or-self;
+///   - `*` wildcard, names like `course` or `cno`;
+///   - filters in `[...]` with `and`, `or`, `not(...)`, parentheses;
+///   - comparisons `path = "literal"`, `path = 'literal'` or
+///     `path = bareword` (e.g. `cno=CS650` as written in the paper);
+///   - `label() = A`;
+///   - a leading `/` or `//` is optional (paths are evaluated from the
+///     view root either way); `.` denotes the self step.
+Result<Path> ParseXPath(const std::string& text);
+
+}  // namespace xvu
+
+#endif  // XVU_XPATH_PARSER_H_

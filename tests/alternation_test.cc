@@ -1,0 +1,157 @@
+// Coverage for alternation productions (A -> B1 + ... + Bn): the branch
+// is chosen per node from its semantic attribute. The paper's normalized
+// DTD grammar includes alternation; the text format does not (selectors
+// are functions), so this goes through the C++ API.
+
+#include <gtest/gtest.h>
+
+#include "src/atg/publisher.h"
+#include "src/core/system.h"
+#include "src/dtd/validate.h"
+#include "src/xpath/parser.h"
+
+namespace xvu {
+namespace {
+
+/// People are published either as an "adult" or a "minor" child of their
+/// person node, depending on the age field.
+Result<Database> PeopleDb() {
+  Database db;
+  XVU_RETURN_NOT_OK(db.CreateTable(Schema(
+      "person",
+      {{"pid", ValueType::kInt},
+       {"name", ValueType::kString},
+       {"age", ValueType::kInt}},
+      {"pid"})));
+  Table* t = db.GetTable("person");
+  XVU_RETURN_NOT_OK(
+      t->Insert({Value::Int(1), Value::Str("Ann"), Value::Int(34)}));
+  XVU_RETURN_NOT_OK(
+      t->Insert({Value::Int(2), Value::Str("Ben"), Value::Int(11)}));
+  XVU_RETURN_NOT_OK(
+      t->Insert({Value::Int(3), Value::Str("Cleo"), Value::Int(70)}));
+  return db;
+}
+
+Result<Atg> PeopleAtg(const Database& catalog) {
+  Atg atg;
+  Dtd& dtd = atg.dtd();
+  dtd.SetRoot("people");
+  XVU_RETURN_NOT_OK(dtd.AddElement("people", Production::Star("person")));
+  XVU_RETURN_NOT_OK(
+      dtd.AddElement("person", Production::Alternation({"adult", "minor"})));
+  XVU_RETURN_NOT_OK(dtd.AddElement("adult", Production::Pcdata()));
+  XVU_RETURN_NOT_OK(dtd.AddElement("minor", Production::Pcdata()));
+  XVU_RETURN_NOT_OK(atg.SetAttrSchema("people", {}));
+  XVU_RETURN_NOT_OK(atg.SetAttrSchema(
+      "person",
+      {{"pid", ValueType::kInt},
+       {"name", ValueType::kString},
+       {"age", ValueType::kInt}}));
+  XVU_RETURN_NOT_OK(
+      atg.SetAttrSchema("adult", {{"name", ValueType::kString}}));
+  XVU_RETURN_NOT_OK(
+      atg.SetAttrSchema("minor", {{"name", ValueType::kString}}));
+  {
+    SpjQueryBuilder b(&catalog);
+    auto q = b.From("person", "p")
+                 .Select("p.pid", "pid")
+                 .Select("p.name", "name")
+                 .Select("p.age", "age")
+                 .Build();
+    if (!q.ok()) return q.status();
+    XVU_RETURN_NOT_OK(
+        atg.SetStarRule("people", q->WithKeyPreservation(catalog)));
+  }
+  Atg::AlternationRule rule;
+  rule.choose = [](const Tuple& attr) {
+    return attr[2].as_int() >= 18 ? 0u : 1u;  // adult : minor
+  };
+  rule.projections = {{1}, {1}};  // both branches carry the name
+  XVU_RETURN_NOT_OK(atg.SetAlternationRule("person", rule));
+  return atg;
+}
+
+TEST(Alternation, PublishesBranchPerAttribute) {
+  auto db = PeopleDb();
+  ASSERT_TRUE(db.ok());
+  auto atg = PeopleAtg(*db);
+  ASSERT_TRUE(atg.ok()) << atg.status().ToString();
+  ASSERT_TRUE(atg->Validate(*db).ok());
+  Publisher pub(&*atg, &*db);
+  auto dag = pub.PublishAll(nullptr);
+  ASSERT_TRUE(dag.ok()) << dag.status().ToString();
+  std::string xml = dag->ToXml();
+  EXPECT_NE(xml.find("<adult>Ann</adult>"), std::string::npos);
+  EXPECT_NE(xml.find("<minor>Ben</minor>"), std::string::npos);
+  EXPECT_NE(xml.find("<adult>Cleo</adult>"), std::string::npos);
+}
+
+TEST(Alternation, QueriesSeeTheChosenBranch) {
+  auto db = PeopleDb();
+  ASSERT_TRUE(db.ok());
+  auto atg = PeopleAtg(*db);
+  ASSERT_TRUE(atg.ok());
+  auto sys = UpdateSystem::Create(std::move(*atg), std::move(*db));
+  ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+  auto adults = (*sys)->Query("//adult");
+  ASSERT_TRUE(adults.ok());
+  EXPECT_EQ(adults->selected.size(), 2u);
+  auto minors = (*sys)->Query("person/minor");
+  ASSERT_TRUE(minors.ok());
+  EXPECT_EQ(minors->selected.size(), 1u);
+  auto with_minor = (*sys)->Query("person[minor]");
+  ASSERT_TRUE(with_minor.ok());
+  EXPECT_EQ(with_minor->selected.size(), 1u);
+}
+
+TEST(Alternation, UpdatesUnderAlternationAreRejectedByDtd) {
+  auto db = PeopleDb();
+  ASSERT_TRUE(db.ok());
+  auto atg = PeopleAtg(*db);
+  ASSERT_TRUE(atg.ok());
+  // Inserting under person (alternation production) is never valid.
+  auto p = ParseXPath("//person");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(ValidateInsert(atg->dtd(), *p, "adult").IsRejected());
+  // Deleting an alternation child would also break conformance.
+  auto c = ParseXPath("//adult");
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(ValidateDelete(atg->dtd(), *c).IsRejected());
+}
+
+TEST(Alternation, ValidateCatchesMissingRule) {
+  auto db = PeopleDb();
+  ASSERT_TRUE(db.ok());
+  auto atg = PeopleAtg(*db);
+  ASSERT_TRUE(atg.ok());
+  Atg broken = *atg;
+  // Re-register the production without a rule on a fresh ATG.
+  Atg no_rule;
+  no_rule.dtd().SetRoot("r");
+  ASSERT_TRUE(
+      no_rule.dtd().AddElement("r", Production::Alternation({"a", "b"})).ok());
+  ASSERT_TRUE(no_rule.dtd().AddElement("a", Production::Pcdata()).ok());
+  ASSERT_TRUE(no_rule.dtd().AddElement("b", Production::Pcdata()).ok());
+  ASSERT_TRUE(no_rule.SetAttrSchema("r", {}).ok());
+  ASSERT_TRUE(no_rule.SetAttrSchema("a", {}).ok());
+  ASSERT_TRUE(no_rule.SetAttrSchema("b", {}).ok());
+  EXPECT_FALSE(no_rule.Validate(*db).ok());
+}
+
+TEST(Alternation, SelectorOutOfRangeIsInternalError) {
+  auto db = PeopleDb();
+  ASSERT_TRUE(db.ok());
+  auto atg = PeopleAtg(*db);
+  ASSERT_TRUE(atg.ok());
+  Atg::AlternationRule bad;
+  bad.choose = [](const Tuple&) { return 7u; };
+  bad.projections = {{1}, {1}};
+  ASSERT_TRUE(atg->SetAlternationRule("person", bad).ok());
+  Publisher pub(&*atg, &*db);
+  auto dag = pub.PublishAll(nullptr);
+  EXPECT_FALSE(dag.ok());
+}
+
+}  // namespace
+}  // namespace xvu

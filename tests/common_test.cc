@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/str_util.h"
+#include "src/common/value.h"
+
+namespace xvu {
+namespace {
+
+TEST(Value, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(42).as_int(), 42);
+  EXPECT_EQ(Value::Str("abc").as_str(), "abc");
+  EXPECT_TRUE(Value::Bool(true).as_bool());
+}
+
+TEST(Value, EqualityDistinguishesTypes) {
+  EXPECT_NE(Value::Int(1), Value::Bool(true));
+  EXPECT_NE(Value::Int(0), Value::Null());
+  EXPECT_NE(Value::Str("1"), Value::Int(1));
+  EXPECT_EQ(Value::Int(7), Value::Int(7));
+}
+
+TEST(Value, OrderingIsTotal) {
+  std::set<Value> s = {Value::Int(2), Value::Int(1), Value::Str("a"),
+                       Value::Bool(false), Value::Null()};
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(Value, HashDistinguishesTypes) {
+  EXPECT_NE(Value::Int(1).Hash(), Value::Bool(true).Hash());
+  EXPECT_EQ(Value::Str("x").Hash(), Value::Str("x").Hash());
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Str("hi").ToString(), "hi");
+}
+
+TEST(Value, ParseValueAs) {
+  EXPECT_EQ(ParseValueAs("42", ValueType::kInt), Value::Int(42));
+  EXPECT_EQ(ParseValueAs("-17", ValueType::kInt), Value::Int(-17));
+  EXPECT_TRUE(ParseValueAs("xyz", ValueType::kInt).is_null());
+  EXPECT_EQ(ParseValueAs("true", ValueType::kBool), Value::Bool(true));
+  EXPECT_EQ(ParseValueAs("F", ValueType::kBool), Value::Bool(false));
+  EXPECT_TRUE(ParseValueAs("maybe", ValueType::kBool).is_null());
+  EXPECT_EQ(ParseValueAs("s", ValueType::kString), Value::Str("s"));
+}
+
+TEST(Tuple, HashAndToString) {
+  Tuple a = {Value::Int(1), Value::Str("x")};
+  Tuple b = {Value::Int(1), Value::Str("x")};
+  Tuple c = {Value::Str("x"), Value::Int(1)};
+  EXPECT_EQ(TupleHash()(a), TupleHash()(b));
+  EXPECT_NE(TupleHash()(a), TupleHash()(c));  // order matters
+  EXPECT_EQ(TupleToString(a), "(1, x)");
+  EXPECT_EQ(TupleToString({}), "()");
+}
+
+TEST(Status, CodesAndToString) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status r = Status::Rejected("side effects");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.IsRejected());
+  EXPECT_EQ(r.ToString(), "Rejected: side effects");
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> good(7);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 7);
+  Result<int> bad(Status::NotFound("n"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, BelowInRangeAndSpread) {
+  Rng rng(5);
+  std::unordered_set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // every bucket hit
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(5);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    lo |= v == -2;
+    hi |= v == 2;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(StrUtil, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StrUtil, XmlEscape) {
+  EXPECT_EQ(XmlEscape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+}
+
+}  // namespace
+}  // namespace xvu

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "src/atg/publisher.h"
+#include "src/core/translate.h"
+#include "src/core/update.h"
+#include "src/workload/registrar.h"
+
+namespace xvu {
+namespace {
+
+Value S(const char* s) { return Value::Str(s); }
+
+class CoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = MakeRegistrarDatabase();
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    ASSERT_TRUE(LoadRegistrarSample(&db_).ok());
+    auto atg = MakeRegistrarAtg(db_);
+    ASSERT_TRUE(atg.ok());
+    atg_ = std::move(*atg);
+    Publisher pub(&atg_, &db_);
+    auto dag = pub.PublishAll(&store_);
+    ASSERT_TRUE(dag.ok());
+    dag_ = std::move(*dag);
+  }
+  Database db_;
+  Atg atg_;
+  ViewStore store_;
+  DagView dag_;
+};
+
+TEST_F(CoreTest, ParseDeleteStatement) {
+  auto u = ParseUpdate("delete //student[ssn=\"S02\"]", atg_);
+  ASSERT_TRUE(u.ok()) << u.status().ToString();
+  EXPECT_EQ(u->kind, XmlUpdate::Kind::kDelete);
+  EXPECT_EQ(u->path.ToString(), "//student[ssn=\"S02\"]");
+}
+
+TEST_F(CoreTest, ParseInsertStatement) {
+  auto u = ParseUpdate(
+      "insert course(CS240, \"Data Structures\") into "
+      "course[cno=\"CS650\"]/prereq",
+      atg_);
+  ASSERT_TRUE(u.ok()) << u.status().ToString();
+  EXPECT_EQ(u->kind, XmlUpdate::Kind::kInsert);
+  EXPECT_EQ(u->elem_type, "course");
+  ASSERT_EQ(u->attr.size(), 2u);
+  EXPECT_EQ(u->attr[0], S("CS240"));
+  EXPECT_EQ(u->attr[1], S("Data Structures"));
+}
+
+TEST_F(CoreTest, ParseInsertWithWhitespaceAndSingleQuotes) {
+  auto u = ParseUpdate(
+      "  insert   student( S07 , 'Grace Hopper' )   into //takenBy ", atg_);
+  ASSERT_TRUE(u.ok()) << u.status().ToString();
+  EXPECT_EQ(u->attr[1], S("Grace Hopper"));
+}
+
+TEST_F(CoreTest, ParseErrors) {
+  EXPECT_FALSE(ParseUpdate("upsert x() into y", atg_).ok());
+  EXPECT_FALSE(ParseUpdate("insert ghost(a) into //x", atg_).ok());
+  // Arity mismatch: course takes two fields.
+  EXPECT_FALSE(ParseUpdate("insert course(CS1) into //prereq", atg_).ok());
+  EXPECT_FALSE(
+      ParseUpdate("insert course(CS1, T, extra) into //prereq", atg_).ok());
+  // Missing 'into'.
+  EXPECT_FALSE(ParseUpdate("insert course(CS1, T) //prereq", atg_).ok());
+  // Unterminated value list / literal.
+  EXPECT_FALSE(ParseUpdate("insert course(CS1, \"T into //p", atg_).ok());
+  EXPECT_FALSE(ParseUpdate("insert course(CS1, T into //p", atg_).ok());
+  // Bad XPath.
+  EXPECT_FALSE(ParseUpdate("delete //[", atg_).ok());
+}
+
+TEST_F(CoreTest, ParsedValueTypesFollowAttrSchema) {
+  // Synthetic-style int attributes parse as ints.
+  Atg atg2;
+  atg2.dtd().SetRoot("r");
+  ASSERT_TRUE(atg2.dtd().AddElement("r", Production::Star("n")).ok());
+  ASSERT_TRUE(atg2.dtd().AddElement("n", Production::Pcdata()).ok());
+  ASSERT_TRUE(atg2.SetAttrSchema("n", {{"v", ValueType::kInt}}).ok());
+  auto u = ParseUpdate("insert n(42) into .", atg2);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->attr[0], Value::Int(42));
+  EXPECT_FALSE(ParseUpdate("insert n(notanint) into .", atg2).ok());
+}
+
+TEST_F(CoreTest, UpdateToString) {
+  auto u = ParseUpdate("delete //student", atg_);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->ToString(), "delete //student");
+  auto v = ParseUpdate("insert course(CS1, T) into course/prereq", atg_);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToString(), "insert course(CS1, T) into course/prereq");
+}
+
+TEST_F(CoreTest, DeriveEdgeRowOutputsPrereq) {
+  const EdgeViewInfo* info = store_.GetEdgeView("edge_prereq_course");
+  ASSERT_NE(info, nullptr);
+  auto row = DeriveEdgeRowOutputs(*info, db_, {S("CS650")},
+                                  {S("CS240"), S("Data Structures")});
+  ASSERT_TRUE(row.ok()) << row.status().ToString();
+  // (cno, title, p.cno1, p.cno2): all determined by ($prereq, $course).
+  EXPECT_EQ(*row, (Tuple{S("CS240"), S("Data Structures"), S("CS650"),
+                         S("CS240")}));
+}
+
+TEST_F(CoreTest, DeriveEdgeRowOutputsTakenBy) {
+  const EdgeViewInfo* info = store_.GetEdgeView("edge_takenBy_student");
+  ASSERT_NE(info, nullptr);
+  auto row = DeriveEdgeRowOutputs(*info, db_, {S("CS650")},
+                                  {S("S03"), S("Carol")});
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(*row, (Tuple{S("S03"), S("Carol"), S("S03"), S("CS650")}));
+}
+
+TEST_F(CoreTest, DeriveEdgeRowOutputsUnderdetermined) {
+  // A rule whose key-preservation extras are NOT functionally determined
+  // by ($A, $B): joining S on a non-key column leaves s.k free.
+  Database db;
+  ASSERT_TRUE(db.CreateTable(Schema("R",
+                                    {{"k", ValueType::kInt},
+                                     {"x", ValueType::kInt}},
+                                    {"k"}))
+                  .ok());
+  ASSERT_TRUE(db.CreateTable(Schema("S",
+                                    {{"k", ValueType::kInt},
+                                     {"x", ValueType::kInt}},
+                                    {"k"}))
+                  .ok());
+  SpjQueryBuilder b(&db);
+  auto q = b.From("R", "r")
+               .From("S", "s")
+               .WhereParam("r.k", 0)
+               .WhereEq("r.x", "s.x")
+               .Select("s.x", "v")
+               .Build();
+  ASSERT_TRUE(q.ok());
+  EdgeViewInfo info;
+  info.rule = q->WithKeyPreservation(db);  // adds r.k, s.k
+  info.attr_arity = 1;
+  auto row =
+      DeriveEdgeRowOutputs(info, db, {Value::Int(1)}, {Value::Int(9)});
+  ASSERT_FALSE(row.ok());
+  EXPECT_TRUE(row.status().IsRejected());
+}
+
+TEST_F(CoreTest, XInsertConnectRowsBuildsPlaceholders) {
+  NodeId p650 = dag_.FindNode("prereq", {S("CS650")});
+  NodeId p320 = dag_.FindNode("prereq", {S("CS320")});
+  ASSERT_NE(p650, kInvalidNode);
+  auto rows = XInsertConnectRows(store_, db_, dag_, {p650, p320}, "course",
+                                 {S("CS240"), S("Data Structures")});
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 2u);
+  for (const ViewRowOp& op : *rows) {
+    EXPECT_EQ(op.view_name, "edge_prereq_course");
+    EXPECT_EQ(op.row[1], Value::Int(-1));  // child id placeholder
+    EXPECT_EQ(op.row[2], S("CS240"));
+  }
+  EXPECT_EQ((*rows)[0].row[0], Value::Int(static_cast<int64_t>(p650)));
+}
+
+TEST_F(CoreTest, XInsertConnectRowsRejectsDtdViolation) {
+  // takenBy cannot take a course child: there is no edge relation.
+  NodeId tb = dag_.FindNode("takenBy", {S("CS650")});
+  ASSERT_NE(tb, kInvalidNode);
+  auto rows = XInsertConnectRows(store_, db_, dag_, {tb}, "course",
+                                 {S("CS240"), S("Data Structures")});
+  ASSERT_FALSE(rows.ok());
+  EXPECT_TRUE(rows.status().IsRejected());
+}
+
+TEST_F(CoreTest, XDeleteRowsCollectsWitnesses) {
+  NodeId p650 = dag_.FindNode("prereq", {S("CS650")});
+  NodeId c320 = dag_.FindNode("course", {S("CS320"),
+                                         S("Database Systems")});
+  auto rows = XDeleteRows(store_, dag_, {{p650, c320}});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].view_name, "edge_prereq_course");
+  EXPECT_EQ((*rows)[0].row[0], Value::Int(static_cast<int64_t>(p650)));
+  EXPECT_EQ((*rows)[0].row[1], Value::Int(static_cast<int64_t>(c320)));
+}
+
+TEST_F(CoreTest, XDeleteRowsMissingEdgeIsInternalError) {
+  NodeId p650 = dag_.FindNode("prereq", {S("CS650")});
+  NodeId c140 = dag_.FindNode("course", {S("CS140"), S("Programming")});
+  // (prereq CS650 -> CS140) is not an edge of the view.
+  auto rows = XDeleteRows(store_, dag_, {{p650, c140}});
+  EXPECT_FALSE(rows.ok());
+}
+
+TEST_F(CoreTest, ViewStoreEdgeRowRoundTrip) {
+  Tuple row = ViewStore::MakeEdgeRow(3, 4, {S("a"), S("b")});
+  EXPECT_EQ(row.size(), 4u);
+  EXPECT_EQ(row[0], Value::Int(3));
+  ASSERT_TRUE(store_.AddEdgeRow("edge_db_course", row).ok());
+  ASSERT_TRUE(store_.AddEdgeRow("edge_db_course", row).ok());  // idempotent
+  auto rows = store_.EdgeRowsFor("edge_db_course", 3, 4);
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_TRUE(store_.RemoveEdgeRow("edge_db_course", row).ok());
+  EXPECT_FALSE(store_.RemoveEdgeRow("edge_db_course", row).ok());
+}
+
+TEST_F(CoreTest, ViewStoreGenTables) {
+  ASSERT_TRUE(store_.AddGenRow("course", 999, {S("X"), S("Y")}).ok());
+  const Table* g = store_.db().GetTable("gen_course");
+  ASSERT_NE(g, nullptr);
+  ASSERT_NE(g->FindByKey({Value::Int(999)}), nullptr);
+  ASSERT_TRUE(store_.RemoveGenRow("course", 999).ok());
+  EXPECT_FALSE(store_.RemoveGenRow("course", 999).ok());
+  EXPECT_FALSE(store_.AddGenRow("ghost", 1, {}).ok());
+}
+
+}  // namespace
+}  // namespace xvu

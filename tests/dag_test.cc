@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "src/dag/dag_view.h"
+#include "src/dag/reachability.h"
+#include "src/dag/topo_order.h"
+#include "tests/test_util.h"
+
+namespace xvu {
+namespace {
+
+using testing_util::RandomDag;
+
+TEST(DagView, GetOrAddNodeDeduplicatesByTypeAndAttr) {
+  DagView dag;
+  NodeId a = dag.GetOrAddNode("course", {Value::Str("CS320")});
+  NodeId b = dag.GetOrAddNode("course", {Value::Str("CS320")});
+  NodeId c = dag.GetOrAddNode("course", {Value::Str("CS650")});
+  NodeId d = dag.GetOrAddNode("prereq", {Value::Str("CS320")});
+  EXPECT_EQ(a, b);  // the Skolem function gen_id
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);  // type participates in identity
+  EXPECT_EQ(dag.num_nodes(), 3u);
+}
+
+TEST(DagView, EdgesAreSetsAndOrdered) {
+  DagView dag;
+  NodeId r = dag.GetOrAddNode("r", {});
+  NodeId x = dag.GetOrAddNode("x", {Value::Int(1)});
+  NodeId y = dag.GetOrAddNode("y", {Value::Int(2)});
+  EXPECT_TRUE(dag.AddEdge(r, x));
+  EXPECT_TRUE(dag.AddEdge(r, y));
+  EXPECT_FALSE(dag.AddEdge(r, x));  // set semantics
+  EXPECT_EQ(dag.num_edges(), 2u);
+  // Children keep insertion (document) order.
+  ASSERT_EQ(dag.children(r).size(), 2u);
+  EXPECT_EQ(dag.children(r)[0], x);
+  EXPECT_EQ(dag.children(r)[1], y);
+  EXPECT_EQ(dag.parents(x).size(), 1u);
+}
+
+TEST(DagView, RemoveEdgeAndNode) {
+  DagView dag;
+  NodeId r = dag.GetOrAddNode("r", {});
+  NodeId x = dag.GetOrAddNode("x", {});
+  dag.AddEdge(r, x);
+  // A node with incident edges cannot be removed.
+  EXPECT_FALSE(dag.RemoveNode(x).ok());
+  EXPECT_TRUE(dag.RemoveEdge(r, x).ok());
+  EXPECT_FALSE(dag.RemoveEdge(r, x).ok());
+  EXPECT_TRUE(dag.RemoveNode(x).ok());
+  EXPECT_FALSE(dag.alive(x));
+  EXPECT_EQ(dag.num_nodes(), 1u);
+  // The (type, attr) slot is free again.
+  NodeId x2 = dag.GetOrAddNode("x", {});
+  EXPECT_NE(x2, x);
+}
+
+TEST(DagView, UncompressedTreeSizeCountsSharing) {
+  // Diamond: root -> {a, b} -> c. As a tree, c appears twice.
+  DagView dag;
+  NodeId r = dag.GetOrAddNode("r", {});
+  NodeId a = dag.GetOrAddNode("a", {});
+  NodeId b = dag.GetOrAddNode("b", {});
+  NodeId c = dag.GetOrAddNode("c", {});
+  dag.SetRoot(r);
+  dag.AddEdge(r, a);
+  dag.AddEdge(r, b);
+  dag.AddEdge(a, c);
+  dag.AddEdge(b, c);
+  EXPECT_EQ(dag.num_nodes(), 4u);
+  EXPECT_EQ(dag.UncompressedTreeSize(), 5u);  // r a c b c
+}
+
+TEST(DagView, ExponentialCompression) {
+  // A chain of diamonds: DAG is linear, tree is exponential.
+  DagView dag;
+  NodeId prev = dag.GetOrAddNode("n", {Value::Int(0)});
+  dag.SetRoot(prev);
+  for (int i = 1; i <= 20; ++i) {
+    NodeId l = dag.GetOrAddNode("l", {Value::Int(i)});
+    NodeId r = dag.GetOrAddNode("r", {Value::Int(i)});
+    NodeId next = dag.GetOrAddNode("n", {Value::Int(i)});
+    dag.AddEdge(prev, l);
+    dag.AddEdge(prev, r);
+    dag.AddEdge(l, next);
+    dag.AddEdge(r, next);
+    prev = next;
+  }
+  EXPECT_EQ(dag.num_nodes(), 61u);
+  EXPECT_GT(dag.UncompressedTreeSize(), 1u << 20);
+}
+
+TEST(DagView, ToXmlRendersAndTruncates) {
+  DagView dag;
+  NodeId r = dag.GetOrAddNode("db", {});
+  NodeId c = dag.GetOrAddNode("course", {Value::Str("CS320")});
+  NodeId t = dag.GetOrAddNode("cno", {Value::Str("CS320")});
+  dag.MarkTextNode(t);
+  dag.SetRoot(r);
+  dag.AddEdge(r, c);
+  dag.AddEdge(c, t);
+  std::string xml = dag.ToXml();
+  EXPECT_NE(xml.find("<db>"), std::string::npos);
+  EXPECT_NE(xml.find("<cno>CS320</cno>"), std::string::npos);
+  // Childless non-text nodes render as empty elements, not as text.
+  DagView empty;
+  NodeId e = empty.GetOrAddNode("prereq", {Value::Str("X")});
+  empty.SetRoot(e);
+  EXPECT_NE(empty.ToXml().find("<prereq/>"), std::string::npos);
+  std::string truncated = dag.ToXml(1);
+  EXPECT_NE(truncated.find("truncated"), std::string::npos);
+}
+
+TEST(TopoOrder, DescendantsFirstInvariant) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    DagView dag = RandomDag(200, 0.4, seed);
+    auto topo = TopoOrder::Compute(dag);
+    ASSERT_TRUE(topo.ok());
+    EXPECT_TRUE(topo->Check(dag).ok()) << "seed " << seed;
+  }
+}
+
+TEST(TopoOrder, DetectsCycle) {
+  DagView dag;
+  NodeId a = dag.GetOrAddNode("a", {});
+  NodeId b = dag.GetOrAddNode("b", {});
+  dag.SetRoot(a);
+  dag.AddEdge(a, b);
+  dag.AddEdge(b, a);
+  EXPECT_FALSE(TopoOrder::Compute(dag).ok());
+}
+
+TEST(TopoOrder, RemoveKeepsValidity) {
+  DagView dag = RandomDag(50, 0.3, 9);
+  auto topo = TopoOrder::Compute(dag);
+  ASSERT_TRUE(topo.ok());
+  // Remove a leaf-ish node from L and the dag consistently.
+  NodeId victim = topo->order()[0];  // first = no live descendants
+  for (NodeId p : std::vector<NodeId>(dag.parents(victim))) {
+    ASSERT_TRUE(dag.RemoveEdge(p, victim).ok());
+  }
+  ASSERT_TRUE(dag.RemoveNode(victim).ok());
+  topo->Remove(victim);
+  EXPECT_TRUE(topo->Check(dag).ok());
+  EXPECT_EQ(topo->PositionOf(victim), TopoOrder::npos);
+}
+
+TEST(Reachability, MatchesNaiveOnRandomDags) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    DagView dag = RandomDag(150, 0.5, seed);
+    auto topo = TopoOrder::Compute(dag);
+    ASSERT_TRUE(topo.ok());
+    Reachability fast = Reachability::Compute(dag, *topo);
+    Reachability naive = Reachability::ComputeNaive(dag);
+    EXPECT_TRUE(fast == naive) << "seed " << seed;
+  }
+}
+
+TEST(Reachability, StrictAndTransitive) {
+  DagView dag;
+  NodeId a = dag.GetOrAddNode("a", {});
+  NodeId b = dag.GetOrAddNode("b", {});
+  NodeId c = dag.GetOrAddNode("c", {});
+  dag.SetRoot(a);
+  dag.AddEdge(a, b);
+  dag.AddEdge(b, c);
+  auto topo = TopoOrder::Compute(dag);
+  ASSERT_TRUE(topo.ok());
+  Reachability m = Reachability::Compute(dag, *topo);
+  EXPECT_TRUE(m.IsAncestor(a, b));
+  EXPECT_TRUE(m.IsAncestor(a, c));  // transitive
+  EXPECT_TRUE(m.IsAncestor(b, c));
+  EXPECT_FALSE(m.IsAncestor(c, a));
+  EXPECT_FALSE(m.IsAncestor(a, a));  // strict
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(Reachability, InsertEraseBookkeeping) {
+  Reachability m;
+  EXPECT_TRUE(m.Insert(1, 2));
+  EXPECT_FALSE(m.Insert(1, 2));  // duplicate
+  EXPECT_FALSE(m.Insert(3, 3));  // reflexive pairs refused
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.Descendants(1).count(2) > 0);
+  EXPECT_TRUE(m.Ancestors(2).count(1) > 0);
+  EXPECT_TRUE(m.Erase(1, 2));
+  EXPECT_FALSE(m.Erase(1, 2));
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(Reachability, SetAncestorsReportsRemovals) {
+  Reachability m;
+  m.Insert(1, 5);
+  m.Insert(2, 5);
+  m.Insert(3, 5);
+  std::vector<std::pair<NodeId, NodeId>> removed;
+  m.SetAncestors(5, {2}, &removed);
+  EXPECT_EQ(removed.size(), 2u);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.IsAncestor(2, 5));
+  EXPECT_FALSE(m.IsAncestor(1, 5));
+  EXPECT_TRUE(m.Descendants(1).empty());
+}
+
+TEST(TopoOrder, SwapRestoresOrderAfterEdgeInsert) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    DagView dag = RandomDag(120, 0.4, seed);
+    auto topo = TopoOrder::Compute(dag);
+    ASSERT_TRUE(topo.ok());
+    Reachability m = Reachability::Compute(dag, *topo);
+    // Pick u before v in L with v not an ancestor of u (no cycle), insert
+    // edge (u, v), update M, then Swap must restore validity.
+    const auto& order = topo->order();
+    bool done = false;
+    for (size_t i = 0; i < order.size() && !done; ++i) {
+      for (size_t j = i + 1; j < order.size() && !done; ++j) {
+        NodeId u = order[i], v = order[j];
+        if (m.IsAncestor(v, u) || dag.HasEdge(u, v)) continue;
+        dag.AddEdge(u, v);
+        // Update M: anc-or-self(u) x desc-or-self(v).
+        std::vector<NodeId> ancs(m.Ancestors(u).begin(),
+                                 m.Ancestors(u).end());
+        ancs.push_back(u);
+        std::vector<NodeId> descs(m.Descendants(v).begin(),
+                                  m.Descendants(v).end());
+        descs.push_back(v);
+        for (NodeId a : ancs) {
+          for (NodeId d : descs) m.Insert(a, d);
+        }
+        topo->Swap(u, v, m);
+        EXPECT_TRUE(topo->Check(dag).ok()) << "seed " << seed;
+        done = true;
+      }
+    }
+    ASSERT_TRUE(done);
+  }
+}
+
+TEST(DagView, CanonicalEdgesStableUnderIdRenaming) {
+  // Two DAGs with the same logical content built in different orders.
+  DagView d1, d2;
+  NodeId r1 = d1.GetOrAddNode("r", {});
+  NodeId a1 = d1.GetOrAddNode("a", {Value::Int(1)});
+  d1.SetRoot(r1);
+  d1.AddEdge(r1, a1);
+
+  NodeId a2 = d2.GetOrAddNode("a", {Value::Int(1)});
+  NodeId r2 = d2.GetOrAddNode("r", {});
+  d2.SetRoot(r2);
+  d2.AddEdge(r2, a2);
+
+  EXPECT_EQ(d1.CanonicalEdges(), d2.CanonicalEdges());
+}
+
+}  // namespace
+}  // namespace xvu

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "src/dtd/dtd.h"
+#include "src/dtd/validate.h"
+#include "src/xpath/parser.h"
+
+namespace xvu {
+namespace {
+
+/// The registrar DTD D0 of the paper.
+Dtd RegistrarDtd() {
+  Dtd d("db");
+  EXPECT_TRUE(d.AddElement("db", Production::Star("course")).ok());
+  EXPECT_TRUE(
+      d.AddElement("course", Production::Sequence(
+                                 {"cno", "title", "prereq", "takenBy"}))
+          .ok());
+  EXPECT_TRUE(d.AddElement("prereq", Production::Star("course")).ok());
+  EXPECT_TRUE(d.AddElement("takenBy", Production::Star("student")).ok());
+  EXPECT_TRUE(
+      d.AddElement("student", Production::Sequence({"ssn", "name"})).ok());
+  EXPECT_TRUE(d.AddElement("cno", Production::Pcdata()).ok());
+  EXPECT_TRUE(d.AddElement("title", Production::Pcdata()).ok());
+  EXPECT_TRUE(d.AddElement("ssn", Production::Pcdata()).ok());
+  EXPECT_TRUE(d.AddElement("name", Production::Pcdata()).ok());
+  return d;
+}
+
+Path P(const std::string& s) {
+  auto p = ParseXPath(s);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return *p;
+}
+
+TEST(Dtd, ValidateAcceptsRegistrar) {
+  Dtd d = RegistrarDtd();
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(Dtd, ValidateRejectsUndefinedChild) {
+  Dtd d("r");
+  ASSERT_TRUE(d.AddElement("r", Production::Star("ghost")).ok());
+  EXPECT_FALSE(d.Validate().ok());
+}
+
+TEST(Dtd, ValidateRejectsMissingRoot) {
+  Dtd d("r");
+  EXPECT_FALSE(d.Validate().ok());
+  Dtd e;
+  EXPECT_FALSE(e.Validate().ok());
+}
+
+TEST(Dtd, DuplicateElementRejected) {
+  Dtd d("r");
+  ASSERT_TRUE(d.AddElement("r", Production::Empty()).ok());
+  EXPECT_FALSE(d.AddElement("r", Production::Pcdata()).ok());
+}
+
+TEST(Dtd, RecursionDetection) {
+  Dtd d = RegistrarDtd();
+  EXPECT_TRUE(d.IsRecursive());
+  EXPECT_TRUE(d.IsRecursiveType("course"));
+  EXPECT_TRUE(d.IsRecursiveType("prereq"));
+  EXPECT_FALSE(d.IsRecursiveType("takenBy"));
+  EXPECT_FALSE(d.IsRecursiveType("db"));
+  EXPECT_FALSE(d.IsRecursiveType("ssn"));
+}
+
+TEST(Dtd, NonRecursiveDtd) {
+  Dtd d("a");
+  ASSERT_TRUE(d.AddElement("a", Production::Star("b")).ok());
+  ASSERT_TRUE(d.AddElement("b", Production::Pcdata()).ok());
+  EXPECT_FALSE(d.IsRecursive());
+}
+
+TEST(Dtd, ParentTypesAndReachability) {
+  Dtd d = RegistrarDtd();
+  auto parents = d.ParentTypes("course");
+  EXPECT_EQ(parents.size(), 2u);  // db and prereq
+  auto reach = d.ReachableTypes("takenBy");
+  EXPECT_TRUE(reach.count("student") > 0);
+  EXPECT_TRUE(reach.count("name") > 0);
+  EXPECT_FALSE(reach.count("course") > 0);
+  // From the root every type is reachable.
+  EXPECT_EQ(d.ReachableTypes("db").size(), 9u);
+}
+
+TEST(Dtd, ToStringRendersDeclarations) {
+  Dtd d = RegistrarDtd();
+  std::string s = d.ToString();
+  EXPECT_NE(s.find("<!ELEMENT db (course*)>"), std::string::npos);
+  EXPECT_NE(s.find("<!ELEMENT course (cno, title, prereq, takenBy)>"),
+            std::string::npos);
+}
+
+TEST(TypesReached, ChildAndRecursiveSteps) {
+  Dtd d = RegistrarDtd();
+  auto r1 = TypesReachedByPath(d, P("course/prereq"));
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(*r1, std::set<std::string>{"prereq"});
+  // "//" reaches every type (the DTD is recursive).
+  auto r2 = TypesReachedByPath(d, P("//course"));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, std::set<std::string>{"course"});
+  auto r3 = TypesReachedByPath(d, P("course/takenBy/student"));
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(*r3, std::set<std::string>{"student"});
+  // Nonsense paths reach nothing.
+  auto r4 = TypesReachedByPath(d, P("student/course"));
+  ASSERT_TRUE(r4.ok());
+  EXPECT_TRUE(r4->empty());
+}
+
+TEST(TypesReached, WildcardAndFilters) {
+  Dtd d = RegistrarDtd();
+  auto r = TypesReachedByPath(d, P("course/*"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 4u);
+  // A structurally impossible filter prunes the type.
+  auto r2 = TypesReachedByPath(d, P("course[takenBy/course]"));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->empty());
+  // A satisfiable filter keeps it.
+  auto r3 = TypesReachedByPath(d, P("course[prereq/course]"));
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(*r3, std::set<std::string>{"course"});
+  // label() filter at the type level.
+  auto r4 = TypesReachedByPath(d, P("course/*[label()=prereq]"));
+  ASSERT_TRUE(r4.ok());
+  EXPECT_EQ(*r4, std::set<std::string>{"prereq"});
+}
+
+TEST(ValidateInsert, AcceptsStarProductionTargets) {
+  Dtd d = RegistrarDtd();
+  // Inserting a course under prereq: prereq -> course*.
+  EXPECT_TRUE(ValidateInsert(
+                  d, P("course[cno=\"CS650\"]//course[cno=\"CS320\"]/prereq"),
+                  "course")
+                  .ok());
+  EXPECT_TRUE(ValidateInsert(d, P("course/takenBy"), "student").ok());
+}
+
+TEST(ValidateInsert, RejectsNonStarTargets) {
+  Dtd d = RegistrarDtd();
+  // course has a sequence production: no insertion allowed under it.
+  Status st = ValidateInsert(d, P("//course"), "cno");
+  EXPECT_TRUE(st.IsRejected());
+  // Wrong child type under a star production.
+  EXPECT_TRUE(ValidateInsert(d, P("course/prereq"), "student").IsRejected());
+  // Undefined element type.
+  EXPECT_TRUE(ValidateInsert(d, P("course/prereq"), "ghost").IsRejected());
+  // Unreachable path.
+  EXPECT_TRUE(ValidateInsert(d, P("student/prereq"), "course").IsRejected());
+}
+
+TEST(ValidateDelete, AcceptsStarChildren) {
+  Dtd d = RegistrarDtd();
+  EXPECT_TRUE(ValidateDelete(d, P("//course[cno=\"CS320\"]")).ok());
+  EXPECT_TRUE(
+      ValidateDelete(d, P("course/takenBy/student[ssn=\"S02\"]")).ok());
+}
+
+TEST(ValidateDelete, RejectsSequenceChildrenAndRoot) {
+  Dtd d = RegistrarDtd();
+  // cno is a sequence child of course.
+  EXPECT_TRUE(ValidateDelete(d, P("course/cno")).IsRejected());
+  EXPECT_TRUE(ValidateDelete(d, P("//takenBy")).IsRejected());
+  // The root itself.
+  EXPECT_TRUE(ValidateDelete(d, P(".")).IsRejected());
+  // Unreachable.
+  EXPECT_TRUE(ValidateDelete(d, P("ghost")).IsRejected());
+}
+
+TEST(Production, ToString) {
+  EXPECT_EQ(Production::Star("c").ToString(), "c*");
+  EXPECT_EQ(Production::Sequence({"a", "b"}).ToString(), "a, b");
+  EXPECT_EQ(Production::Alternation({"a", "b"}).ToString(), "a + b");
+  EXPECT_EQ(Production::Pcdata().ToString(), "#PCDATA");
+  EXPECT_EQ(Production::Empty().ToString(), "EMPTY");
+}
+
+}  // namespace
+}  // namespace xvu

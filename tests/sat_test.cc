@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/sat/dpll.h"
+#include "src/sat/encoder.h"
+#include "src/sat/walksat.h"
+
+namespace xvu {
+namespace {
+
+TEST(Cnf, BasicBookkeeping) {
+  Cnf cnf;
+  int32_t a = cnf.NewVar(), b = cnf.NewVar();
+  cnf.AddBinary(a, b);
+  cnf.AddUnit(-a);
+  EXPECT_EQ(cnf.num_vars(), 2);
+  EXPECT_EQ(cnf.num_clauses(), 2u);
+  std::vector<bool> model = {false, false, true};  // a=F, b=T
+  EXPECT_TRUE(cnf.IsSatisfiedBy(model));
+  model[2] = false;
+  EXPECT_FALSE(cnf.IsSatisfiedBy(model));
+}
+
+TEST(Cnf, DimacsRendering) {
+  Cnf cnf;
+  int32_t a = cnf.NewVar(), b = cnf.NewVar();
+  cnf.AddBinary(a, -b);
+  std::string d = cnf.ToDimacs();
+  EXPECT_NE(d.find("p cnf 2 1"), std::string::npos);
+  EXPECT_NE(d.find("1 -2 0"), std::string::npos);
+}
+
+TEST(Dpll, SatisfiableAndModelValid) {
+  Cnf cnf;
+  int32_t a = cnf.NewVar(), b = cnf.NewVar(), c = cnf.NewVar();
+  cnf.AddTernary(a, b, c);
+  cnf.AddBinary(-a, -b);
+  cnf.AddBinary(-b, -c);
+  SatResult r = SolveDpll(cnf);
+  ASSERT_EQ(r.kind, SatResult::Kind::kSat);
+  EXPECT_TRUE(cnf.IsSatisfiedBy(r.model));
+}
+
+TEST(Dpll, ProvesUnsat) {
+  Cnf cnf;
+  int32_t a = cnf.NewVar();
+  cnf.AddUnit(a);
+  cnf.AddUnit(-a);
+  EXPECT_EQ(SolveDpll(cnf).kind, SatResult::Kind::kUnsat);
+}
+
+TEST(Dpll, UnsatXorChain) {
+  // (a xor b) and (b xor c) and (a xor c) is unsatisfiable.
+  Cnf cnf;
+  int32_t a = cnf.NewVar(), b = cnf.NewVar(), c = cnf.NewVar();
+  auto add_xor = [&](int32_t x, int32_t y) {
+    cnf.AddBinary(x, y);
+    cnf.AddBinary(-x, -y);
+  };
+  add_xor(a, b);
+  add_xor(b, c);
+  add_xor(a, c);
+  EXPECT_EQ(SolveDpll(cnf).kind, SatResult::Kind::kUnsat);
+}
+
+TEST(Dpll, EmptyFormulaIsSat) {
+  Cnf cnf;
+  EXPECT_EQ(SolveDpll(cnf).kind, SatResult::Kind::kSat);
+}
+
+TEST(WalkSat, SolvesSatisfiableInstances) {
+  Cnf cnf;
+  int32_t a = cnf.NewVar(), b = cnf.NewVar(), c = cnf.NewVar();
+  cnf.AddTernary(a, b, c);
+  cnf.AddBinary(-a, b);
+  cnf.AddBinary(-b, c);
+  SatResult r = SolveWalkSat(cnf);
+  ASSERT_EQ(r.kind, SatResult::Kind::kSat);
+  EXPECT_TRUE(cnf.IsSatisfiedBy(r.model));
+}
+
+TEST(WalkSat, ReportsUnknownOnUnsat) {
+  Cnf cnf;
+  int32_t a = cnf.NewVar();
+  cnf.AddUnit(a);
+  cnf.AddUnit(-a);
+  WalkSatOptions opts;
+  opts.max_tries = 2;
+  opts.max_flips = 200;
+  SatResult r = SolveWalkSat(cnf, opts);
+  EXPECT_EQ(r.kind, SatResult::Kind::kUnknown);
+}
+
+TEST(WalkSat, EmptyClauseIsUnsat) {
+  Cnf cnf;
+  cnf.AddClause({});
+  EXPECT_EQ(SolveWalkSat(cnf).kind, SatResult::Kind::kUnsat);
+}
+
+TEST(WalkSat, AgreesWithDpllOnRandom3Sat) {
+  // Random 3-SAT at a modest clause/variable ratio: WalkSAT must find a
+  // model whenever DPLL proves one exists.
+  Rng rng(77);
+  for (int inst = 0; inst < 30; ++inst) {
+    Cnf cnf;
+    const int nv = 12;
+    for (int i = 0; i < nv; ++i) cnf.NewVar();
+    int nc = 3 * nv;
+    for (int c = 0; c < nc; ++c) {
+      std::vector<Lit> clause;
+      for (int k = 0; k < 3; ++k) {
+        int32_t v = 1 + static_cast<int32_t>(rng.Below(nv));
+        clause.push_back(rng.Chance(0.5) ? v : -v);
+      }
+      cnf.AddClause(std::move(clause));
+    }
+    SatResult exact = SolveDpll(cnf);
+    if (exact.kind == SatResult::Kind::kSat) {
+      SatResult ws = SolveWalkSat(cnf);
+      ASSERT_EQ(ws.kind, SatResult::Kind::kSat) << "instance " << inst;
+      EXPECT_TRUE(cnf.IsSatisfiedBy(ws.model));
+    }
+  }
+}
+
+TEST(Encoder, BoolDomainSingleVariable) {
+  FiniteDomainEncoder enc;
+  auto x = enc.AddVar({Value::Bool(false), Value::Bool(true)});
+  // x = true is a single literal; its negation is x = false.
+  Lit lt = enc.EqConst(x, Value::Bool(true));
+  Lit lf = enc.EqConst(x, Value::Bool(false));
+  EXPECT_EQ(lt, -lf);
+  enc.AddClause({lt});
+  SatResult r = SolveDpll(enc.cnf());
+  ASSERT_EQ(r.kind, SatResult::Kind::kSat);
+  auto v = enc.Decode(x, r.model);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::Bool(true));
+}
+
+TEST(Encoder, OutOfDomainConstantIsFalse) {
+  FiniteDomainEncoder enc;
+  auto x = enc.AddVar({Value::Bool(false), Value::Bool(true)});
+  Lit l = enc.EqConst(x, Value::Int(3));
+  enc.AddClause({l});  // forces the constant-false literal: unsat
+  EXPECT_EQ(SolveDpll(enc.cnf()).kind, SatResult::Kind::kUnsat);
+}
+
+TEST(Encoder, OneHotDomain) {
+  FiniteDomainEncoder enc;
+  std::vector<Value> dom = {Value::Int(1), Value::Int(2), Value::Int(3)};
+  auto x = enc.AddVar(dom);
+  enc.AddClause({-enc.EqConst(x, Value::Int(1))});
+  enc.AddClause({-enc.EqConst(x, Value::Int(3))});
+  SatResult r = SolveDpll(enc.cnf());
+  ASSERT_EQ(r.kind, SatResult::Kind::kSat);
+  auto v = enc.Decode(x, r.model);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::Int(2));
+}
+
+TEST(Encoder, EqVarForcesEquality) {
+  FiniteDomainEncoder enc;
+  auto x = enc.AddVar({Value::Bool(false), Value::Bool(true)});
+  auto y = enc.AddVar({Value::Bool(false), Value::Bool(true)});
+  enc.AddClause({enc.EqVar(x, y)});
+  enc.AddClause({enc.EqConst(x, Value::Bool(true))});
+  SatResult r = SolveDpll(enc.cnf());
+  ASSERT_EQ(r.kind, SatResult::Kind::kSat);
+  auto vy = enc.Decode(y, r.model);
+  ASSERT_TRUE(vy.ok());
+  EXPECT_EQ(*vy, Value::Bool(true));
+}
+
+TEST(Encoder, NegatedEqVarForcesInequality) {
+  FiniteDomainEncoder enc;
+  auto x = enc.AddVar({Value::Bool(false), Value::Bool(true)});
+  auto y = enc.AddVar({Value::Bool(false), Value::Bool(true)});
+  enc.AddClause({-enc.EqVar(x, y)});
+  enc.AddClause({enc.EqConst(x, Value::Bool(false))});
+  SatResult r = SolveDpll(enc.cnf());
+  ASSERT_EQ(r.kind, SatResult::Kind::kSat);
+  auto vy = enc.Decode(y, r.model);
+  ASSERT_TRUE(vy.ok());
+  EXPECT_EQ(*vy, Value::Bool(true));
+}
+
+TEST(Encoder, DisjointDomainsNeverEqual) {
+  FiniteDomainEncoder enc;
+  auto x = enc.AddVar({Value::Int(1)});
+  auto y = enc.AddVar({Value::Int(2)});
+  enc.AddClause({enc.EqVar(x, y)});
+  EXPECT_EQ(SolveDpll(enc.cnf()).kind, SatResult::Kind::kUnsat);
+}
+
+TEST(Encoder, EqVarCached) {
+  FiniteDomainEncoder enc;
+  auto x = enc.AddVar({Value::Bool(false), Value::Bool(true)});
+  auto y = enc.AddVar({Value::Bool(false), Value::Bool(true)});
+  Lit a = enc.EqVar(x, y);
+  Lit b = enc.EqVar(y, x);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Encoder, MixedDomainEquality) {
+  // x over {1,2,3}, y over {2,3,4}: equality restricted to {2,3}.
+  FiniteDomainEncoder enc;
+  auto x = enc.AddVar({Value::Int(1), Value::Int(2), Value::Int(3)});
+  auto y = enc.AddVar({Value::Int(2), Value::Int(3), Value::Int(4)});
+  enc.AddClause({enc.EqVar(x, y)});
+  enc.AddClause({-enc.EqConst(x, Value::Int(2))});
+  SatResult r = SolveDpll(enc.cnf());
+  ASSERT_EQ(r.kind, SatResult::Kind::kSat);
+  auto vx = enc.Decode(x, r.model);
+  auto vy = enc.Decode(y, r.model);
+  ASSERT_TRUE(vx.ok());
+  ASSERT_TRUE(vy.ok());
+  EXPECT_EQ(*vx, Value::Int(3));
+  EXPECT_EQ(*vy, Value::Int(3));
+}
+
+}  // namespace
+}  // namespace xvu

@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/system.h"
+#include "src/workload/registrar.h"
+
+namespace xvu {
+namespace {
+
+Value S(const char* s) { return Value::Str(s); }
+
+std::unique_ptr<UpdateSystem> MakeSystem(
+    UpdateSystem::Options options = UpdateSystem::Options()) {
+  auto db = MakeRegistrarDatabase();
+  EXPECT_TRUE(db.ok());
+  EXPECT_TRUE(LoadRegistrarSample(&*db).ok());
+  auto atg = MakeRegistrarAtg(*db);
+  EXPECT_TRUE(atg.ok());
+  auto sys = UpdateSystem::Create(std::move(*atg), std::move(*db), options);
+  EXPECT_TRUE(sys.ok()) << sys.status().ToString();
+  return std::move(*sys);
+}
+
+/// The central correctness property: ∆X(T) = σ(∆R(I)). After an accepted
+/// update, the incrementally maintained DAG must equal a republication
+/// from the updated base, and M/L must match recomputation.
+void ExpectConsistent(UpdateSystem& sys) {
+  auto fresh = sys.Republish();
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_EQ(sys.dag().CanonicalEdges(), fresh->CanonicalEdges())
+      << "incremental view diverged from σ(∆R(I))";
+  auto topo = TopoOrder::Compute(sys.dag());
+  ASSERT_TRUE(topo.ok());
+  EXPECT_TRUE(sys.topo().Check(sys.dag()).ok());
+  Reachability m = Reachability::Compute(sys.dag(), *topo);
+  EXPECT_TRUE(sys.reachability() == m);
+  // The relational coding stays in sync: every DAG star edge has witness
+  // rows and vice versa.
+  size_t dag_star_edges = 0;
+  sys.dag().ForEachEdge([&](NodeId u, NodeId v) {
+    const std::string& pt = sys.dag().node(u).type;
+    const std::string& ct = sys.dag().node(v).type;
+    if (sys.store().FindEdgeViewByTypes(pt, ct) != nullptr) {
+      ++dag_star_edges;
+      EXPECT_FALSE(sys.store()
+                       .EdgeRowsFor(ViewStore::EdgeViewName(pt, ct),
+                                    static_cast<int64_t>(u),
+                                    static_cast<int64_t>(v))
+                       .empty());
+    }
+  });
+  size_t store_edges = 0;
+  for (const std::string& vn : sys.store().EdgeViewNames()) {
+    const Table* vt = sys.store().db().GetTable(vn);
+    const EdgeViewInfo* info = sys.store().GetEdgeView(vn);
+    vt->ForEach([&](const Tuple& row) {
+      ++store_edges;
+      // Every witness row corresponds to a live DAG edge.
+      NodeId u = static_cast<NodeId>(row[0].as_int());
+      NodeId v = static_cast<NodeId>(row[1].as_int());
+      EXPECT_TRUE(sys.dag().alive(u)) << vn;
+      EXPECT_TRUE(sys.dag().alive(v)) << vn;
+      EXPECT_TRUE(sys.dag().HasEdge(u, v)) << vn;
+      (void)info;
+    });
+  }
+  EXPECT_GE(store_edges, dag_star_edges);
+}
+
+TEST(System, PublishesInitialViewConsistently) {
+  auto sys = MakeSystem();
+  ExpectConsistent(*sys);
+  EXPECT_EQ(sys->dag().children(sys->dag().root()).size(), 4u);
+}
+
+TEST(System, Example1InsertExistingCourse) {
+  // insert (course, CS240) into course[cno=CS650]//course[cno=CS320]/prereq
+  auto sys = MakeSystem();
+  Status st = sys->ApplyStatement(
+      "insert course(CS240, \"Data Structures\") into "
+      "course[cno=\"CS650\"]//course[cno=\"CS320\"]/prereq");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  // The base gained the prereq tuple...
+  EXPECT_NE(sys->database().GetTable("prereq")->FindByKey(
+                {S("CS320"), S("CS240")}),
+            nullptr);
+  // ...and the view shows CS240 under CS320's prereq — under *every*
+  // occurrence of CS320 (the revised semantics; structurally one node).
+  auto q = sys->Query("//course[cno=\"CS320\"]/prereq/course[cno=\"CS240\"]");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->selected.size(), 1u);
+  ExpectConsistent(*sys);
+}
+
+TEST(System, Example1InsertReportsSideEffectsUnderAbortPolicy) {
+  // CS320 also occurs outside course[cno=CS650]'s cone (at the top
+  // level), so the insertion has side effects; the abort policy rejects.
+  UpdateSystem::Options opts;
+  opts.side_effects = SideEffectPolicy::kAbort;
+  auto sys = MakeSystem(opts);
+  Status st = sys->ApplyStatement(
+      "insert course(CS240, \"Data Structures\") into "
+      "course[cno=\"CS650\"]//course[cno=\"CS320\"]/prereq");
+  EXPECT_TRUE(st.IsRejected());
+  EXPECT_TRUE(sys->last_stats().had_side_effects);
+  ExpectConsistent(*sys);  // nothing changed
+}
+
+TEST(System, Example4DeleteStudentFromCourse) {
+  // delete //course[cno=CS320]//student[ssn=S02]
+  auto sys = MakeSystem();
+  Status st = sys->ApplyStatement(
+      "delete //course[cno=\"CS320\"]//student[ssn=\"S02\"]");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  // ∆R removed the enrolment, not the student.
+  EXPECT_EQ(sys->database().GetTable("enroll")->FindByKey(
+                {S("S02"), S("CS320")}),
+            nullptr);
+  EXPECT_NE(sys->database().GetTable("student")->FindByKey({S("S02")}),
+            nullptr);
+  // S02 still listed under CS240.
+  auto q = sys->Query("//course[cno=\"CS240\"]//student[ssn=\"S02\"]");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->selected.size(), 1u);
+  ExpectConsistent(*sys);
+}
+
+TEST(System, Example5DeleteStudentEverywhere) {
+  // delete //student[ssn=S02]: both takenBy parents lose the edge.
+  auto sys = MakeSystem();
+  Status st = sys->ApplyStatement("delete //student[ssn=\"S02\"]");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  auto q = sys->Query("//student[ssn=\"S02\"]");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->selected.empty());
+  // The student node was garbage collected.
+  EXPECT_EQ(sys->dag().FindNode("student", {S("S02"), S("Bob")}),
+            kInvalidNode);
+  ExpectConsistent(*sys);
+}
+
+TEST(System, DeletePrereqEdgeKeepsSharedSubtree) {
+  // Section 2.1: removing CS320 from CS650's prerequisites must not
+  // delete CS320 itself (it is an independent course).
+  auto sys = MakeSystem();
+  Status st = sys->ApplyStatement(
+      "delete course[cno=\"CS650\"]/prereq/course[cno=\"CS320\"]");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_NE(
+      sys->dag().FindNode("course", {S("CS320"), S("Database Systems")}),
+      kInvalidNode);
+  auto q = sys->Query("course[cno=\"CS650\"]/prereq/course");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->selected.empty());
+  // Still present at the top level.
+  auto top = sys->Query("course[cno=\"CS320\"]");
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top->selected.size(), 1u);
+  ExpectConsistent(*sys);
+}
+
+TEST(System, DeleteTopLevelCourseRejectedWhenShared) {
+  // CS320 is a prerequisite of CS650: removing it from the top level
+  // would require deleting course(CS320), which has side effects.
+  auto sys = MakeSystem();
+  Status st = sys->ApplyStatement("delete course[cno=\"CS320\"]");
+  EXPECT_TRUE(st.IsRejected());
+  ExpectConsistent(*sys);
+}
+
+TEST(System, InsertBrandNewCourse) {
+  auto sys = MakeSystem();
+  Status st = sys->ApplyStatement(
+      "insert course(CS500, \"Compilers\") into "
+      "course[cno=\"CS650\"]/prereq");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  auto q = sys->Query("course[cno=\"CS650\"]/prereq/course[cno=\"CS500\"]");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->selected.size(), 1u);
+  // The fresh dept keeps CS500 off the CS top level.
+  auto top = sys->Query("course[cno=\"CS500\"]");
+  ASSERT_TRUE(top.ok());
+  EXPECT_TRUE(top->selected.empty());
+  ExpectConsistent(*sys);
+}
+
+TEST(System, InsertStudentIntoTakenBy) {
+  auto sys = MakeSystem();
+  Status st = sys->ApplyStatement(
+      "insert student(S03, Carol) into course[cno=\"CS650\"]/takenBy");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_NE(sys->database().GetTable("enroll")->FindByKey(
+                {S("S03"), S("CS650")}),
+            nullptr);
+  ExpectConsistent(*sys);
+}
+
+TEST(System, DtdValidationRejectsBadUpdates) {
+  auto sys = MakeSystem();
+  // Inserting a student under prereq violates prereq -> course*.
+  EXPECT_TRUE(sys->ApplyStatement(
+                     "insert student(S09, Eve) into course/prereq")
+                  .IsRejected());
+  // Deleting a sequence child violates the production.
+  EXPECT_TRUE(sys->ApplyStatement("delete course/cno").IsRejected());
+  // Deleting the root.
+  EXPECT_TRUE(sys->ApplyStatement("delete .").IsRejected());
+  ExpectConsistent(*sys);
+}
+
+TEST(System, EmptySelectionRejected) {
+  auto sys = MakeSystem();
+  EXPECT_TRUE(
+      sys->ApplyStatement("delete //course[cno=\"CS777\"]").IsRejected());
+  EXPECT_TRUE(sys->ApplyStatement(
+                     "insert course(CS1, T) into "
+                     "course[cno=\"CS777\"]/prereq")
+                  .IsRejected());
+  ExpectConsistent(*sys);
+}
+
+TEST(System, CyclicInsertionRejected) {
+  // CS650 as a prerequisite of CS140 while CS140 is (transitively) a
+  // prerequisite of CS650: the view would be an infinite tree.
+  auto sys = MakeSystem();
+  Status st = sys->ApplyStatement(
+      "insert course(CS650, \"Advanced Databases\") into "
+      "course[cno=\"CS140\"]/prereq");
+  EXPECT_TRUE(st.IsRejected()) << st.ToString();
+  ExpectConsistent(*sys);
+}
+
+TEST(System, SelfCycleInsertionRejected) {
+  auto sys = MakeSystem();
+  Status st = sys->ApplyStatement(
+      "insert course(CS320, \"Database Systems\") into "
+      "course[cno=\"CS320\"]/prereq");
+  EXPECT_TRUE(st.IsRejected());
+  ExpectConsistent(*sys);
+}
+
+TEST(System, SequenceOfUpdatesStaysConsistent) {
+  auto sys = MakeSystem();
+  const char* script[] = {
+      "insert course(CS500, \"Compilers\") into course[cno=\"CS650\"]/prereq",
+      "insert student(S04, Dan) into //course[cno=\"CS500\"]/takenBy",
+      "delete //student[ssn=\"S02\"]",
+      "insert course(CS240, \"Data Structures\") into "
+      "//course[cno=\"CS500\"]/prereq",
+      "delete course[cno=\"CS650\"]/prereq/course[cno=\"CS320\"]",
+  };
+  for (const char* stmt : script) {
+    Status st = sys->ApplyStatement(stmt);
+    ASSERT_TRUE(st.ok()) << stmt << ": " << st.ToString();
+    ExpectConsistent(*sys);
+  }
+}
+
+TEST(System, RejectedUpdateLeavesStateUntouched) {
+  auto sys = MakeSystem();
+  auto before = sys->dag().CanonicalEdges();
+  size_t rows_before = sys->database().TotalRows();
+  EXPECT_TRUE(sys->ApplyStatement("delete course[cno=\"CS320\"]")
+                  .IsRejected());
+  EXPECT_EQ(sys->dag().CanonicalEdges(), before);
+  EXPECT_EQ(sys->database().TotalRows(), rows_before);
+  ExpectConsistent(*sys);
+}
+
+TEST(System, StatsPopulated) {
+  auto sys = MakeSystem();
+  ASSERT_TRUE(
+      sys->ApplyStatement("delete //student[ssn=\"S02\"]").ok());
+  const UpdateStats& st = sys->last_stats();
+  EXPECT_EQ(st.selected, 1u);
+  EXPECT_EQ(st.parent_edges, 2u);
+  EXPECT_EQ(st.delta_v, 2u);
+  EXPECT_GE(st.delta_r, 1u);
+  EXPECT_GE(st.total_seconds(), 0.0);
+}
+
+TEST(System, QueryIsReadOnly) {
+  auto sys = MakeSystem();
+  auto before = sys->dag().CanonicalEdges();
+  auto q = sys->Query("//course");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->selected.size(), 4u);
+  EXPECT_EQ(sys->dag().CanonicalEdges(), before);
+}
+
+TEST(System, MinimalDeletionOption) {
+  UpdateSystem::Options opts;
+  opts.minimal_deletions = true;
+  auto sys = MakeSystem(opts);
+  Status st = sys->ApplyStatement("delete //student[ssn=\"S02\"]");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  // Minimal ∆R: one student deletion instead of two enroll deletions.
+  EXPECT_EQ(sys->last_stats().delta_r, 1u);
+  EXPECT_EQ(sys->database().GetTable("student")->FindByKey({S("S02")}),
+            nullptr);
+  ExpectConsistent(*sys);
+}
+
+}  // namespace
+}  // namespace xvu

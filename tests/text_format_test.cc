@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "src/atg/publisher.h"
+#include "src/atg/text_format.h"
+#include "src/workload/registrar.h"
+
+namespace xvu {
+namespace {
+
+const char* kRegistrarAtgText = R"(
+# The registrar sigma0 of the paper's Fig.2, in the text format.
+root db
+
+type db()
+type course(cno: string, title: string)
+type prereq(cno: string)
+type takenBy(cno: string)
+type student(ssn: string, name: string)
+type cno(text: string)
+type title(text: string)
+type ssn(text: string)
+type name(text: string)
+
+element db = course* from {
+  select c.cno as cno, c.title as title
+  from course c
+  where c.dept = "CS"
+}
+element course = cno(cno), title(title), prereq(cno), takenBy(cno)
+element prereq = course* from {
+  select c.cno as cno, c.title as title
+  from prereq p, course c
+  where p.cno1 = $cno and p.cno2 = c.cno
+}
+element takenBy = student* from {
+  select s.ssn as ssn, s.name as name
+  from enroll e, student s
+  where e.cno = $cno and e.ssn = s.ssn
+}
+element student = ssn(ssn), name(name)
+element cno = PCDATA
+element title = PCDATA
+element ssn = PCDATA
+element name = PCDATA
+)";
+
+class TextFormatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = MakeRegistrarDatabase();
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    ASSERT_TRUE(LoadRegistrarSample(&db_).ok());
+  }
+  Database db_;
+};
+
+TEST_F(TextFormatTest, ParsesRegistrarDefinition) {
+  auto atg = ParseAtgText(kRegistrarAtgText, db_);
+  ASSERT_TRUE(atg.ok()) << atg.status().ToString();
+  EXPECT_EQ(atg->dtd().root(), "db");
+  EXPECT_TRUE(atg->dtd().IsRecursive());
+  EXPECT_TRUE(atg->Validate(db_).ok());
+  const SpjQuery* rule = atg->StarRule("prereq");
+  ASSERT_NE(rule, nullptr);
+  EXPECT_TRUE(rule->IsKeyPreserving(db_));  // extended automatically
+  EXPECT_EQ(rule->num_params(), 1u);
+}
+
+TEST_F(TextFormatTest, ParsedAtgPublishesSameViewAsBuilderAtg) {
+  auto text_atg = ParseAtgText(kRegistrarAtgText, db_);
+  ASSERT_TRUE(text_atg.ok()) << text_atg.status().ToString();
+  auto code_atg = MakeRegistrarAtg(db_);
+  ASSERT_TRUE(code_atg.ok());
+  Publisher p1(&*text_atg, &db_);
+  Publisher p2(&*code_atg, &db_);
+  auto d1 = p1.PublishAll(nullptr);
+  auto d2 = p2.PublishAll(nullptr);
+  ASSERT_TRUE(d1.ok()) << d1.status().ToString();
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d1->CanonicalEdges(), d2->CanonicalEdges());
+}
+
+TEST_F(TextFormatTest, RoundTripsThroughAtgToText) {
+  auto atg = ParseAtgText(kRegistrarAtgText, db_);
+  ASSERT_TRUE(atg.ok());
+  std::string rendered = AtgToText(*atg, db_);
+  auto again = ParseAtgText(rendered, db_);
+  ASSERT_TRUE(again.ok()) << again.status().ToString() << "\n" << rendered;
+  Publisher p1(&*atg, &db_);
+  Publisher p2(&*again, &db_);
+  auto d1 = p1.PublishAll(nullptr);
+  auto d2 = p2.PublishAll(nullptr);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d1->CanonicalEdges(), d2->CanonicalEdges());
+}
+
+TEST_F(TextFormatTest, BoolAndIntLiteralsInWhere) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(Schema("T",
+                                    {{"k", ValueType::kInt},
+                                     {"flag", ValueType::kBool},
+                                     {"n", ValueType::kInt}},
+                                    {"k"}))
+                  .ok());
+  ASSERT_TRUE(db.GetTable("T")
+                  ->Insert({Value::Int(1), Value::Bool(true), Value::Int(5)})
+                  .ok());
+  ASSERT_TRUE(db.GetTable("T")
+                  ->Insert({Value::Int(2), Value::Bool(false), Value::Int(5)})
+                  .ok());
+  const char* text = R"(
+    root r
+    type r()
+    type x(k: int)
+    element r = x* from {
+      select t.k as k
+      from T t
+      where t.flag = true and t.n = 5
+    }
+    element x = PCDATA
+  )";
+  auto atg = ParseAtgText(text, db);
+  ASSERT_TRUE(atg.ok()) << atg.status().ToString();
+  Publisher pub(&*atg, &db);
+  auto dag = pub.PublishAll(nullptr);
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(dag->children(dag->root()).size(), 1u);  // only k=1 matches
+}
+
+TEST_F(TextFormatTest, Errors) {
+  // Unknown declaration.
+  EXPECT_FALSE(ParseAtgText("banana db", db_).ok());
+  // Unknown attribute type.
+  EXPECT_FALSE(ParseAtgText("root r\ntype r(x: float)\nelement r = EMPTY",
+                            db_)
+                   .ok());
+  // Star production without a rule.
+  EXPECT_FALSE(
+      ParseAtgText("root r\ntype r()\ntype c()\nelement r = c*", db_).ok());
+  // Rule referencing an unknown base table.
+  EXPECT_FALSE(ParseAtgText(R"(
+      root r
+      type r()
+      type c(x: string)
+      element r = c* from { select g.x as x from ghost g }
+      element c = PCDATA
+    )",
+                            db_)
+                   .ok());
+  // $field not in the parent's attribute schema.
+  EXPECT_FALSE(ParseAtgText(R"(
+      root r
+      type r()
+      type c(cno: string, title: string)
+      element r = c* from {
+        select c.cno as cno, c.title as title
+        from course c
+        where c.cno = $nope
+      }
+      element c = EMPTY
+    )",
+                            db_)
+                   .ok());
+  // Sequence projection referencing an unknown parent field.
+  EXPECT_FALSE(ParseAtgText(R"(
+      root r
+      type r()
+      type s(a: string)
+      type t(b: string)
+      element r = s* from { select c.cno as a from course c }
+      element s = t(missing)
+      element t = PCDATA
+    )",
+                            db_)
+                   .ok());
+  // Unterminated rule block.
+  EXPECT_FALSE(ParseAtgText(R"(
+      root r
+      type r()
+      type c(a: string)
+      element r = c* from { select c.cno as a from course c
+    )",
+                            db_)
+                   .ok());
+}
+
+TEST_F(TextFormatTest, CommentsAndWhitespaceTolerated) {
+  const char* text = R"(
+    # leading comment
+    root r   # trailing comment
+    type r()    # another
+    type c(x: string)
+    element r = c* from {
+      # rule comment
+      select c.cno as x from course c where c.dept = "CS"
+    }
+    element c = PCDATA
+  )";
+  auto atg = ParseAtgText(text, db_);
+  ASSERT_TRUE(atg.ok()) << atg.status().ToString();
+}
+
+}  // namespace
+}  // namespace xvu

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "src/xpath/normal_form.h"
+#include "src/xpath/parser.h"
+
+namespace xvu {
+namespace {
+
+Path P(const std::string& s) {
+  auto p = ParseXPath(s);
+  EXPECT_TRUE(p.ok()) << s << ": " << p.status().ToString();
+  return p.ok() ? *p : Path{};
+}
+
+TEST(Parser, SimpleChildSteps) {
+  Path p = P("course/prereq/course");
+  ASSERT_EQ(p.steps.size(), 3u);
+  EXPECT_EQ(p.steps[0].axis, PathStep::Axis::kChild);
+  EXPECT_EQ(p.steps[0].label, "course");
+  EXPECT_EQ(p.steps[1].label, "prereq");
+}
+
+TEST(Parser, LeadingSlashOptional) {
+  EXPECT_EQ(P("/a/b").ToString(), P("a/b").ToString());
+}
+
+TEST(Parser, DescendantOrSelf) {
+  Path p = P("//course");
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[0].axis, PathStep::Axis::kDescOrSelf);
+  EXPECT_EQ(p.steps[1].label, "course");
+  // Infix //.
+  Path q = P("course//student");
+  ASSERT_EQ(q.steps.size(), 3u);
+  EXPECT_EQ(q.steps[1].axis, PathStep::Axis::kDescOrSelf);
+}
+
+TEST(Parser, Wildcard) {
+  Path p = P("*/course/*");
+  ASSERT_EQ(p.steps.size(), 3u);
+  EXPECT_TRUE(p.steps[0].wildcard);
+  EXPECT_TRUE(p.steps[2].wildcard);
+}
+
+TEST(Parser, PaperExampleP0) {
+  // P0 of Example 1.
+  Path p = P("course[cno=CS650]//course[cno=CS320]/prereq");
+  ASSERT_EQ(p.steps.size(), 4u);
+  ASSERT_EQ(p.steps[0].filters.size(), 1u);
+  const FilterExpr& f = *p.steps[0].filters[0];
+  EXPECT_EQ(f.kind(), FilterExpr::Kind::kPathEq);
+  EXPECT_EQ(f.value(), "CS650");
+  EXPECT_EQ(f.path().steps[0].label, "cno");
+}
+
+TEST(Parser, QuotedAndBareLiterals) {
+  Path a = P("c[x=\"v 1\"]");
+  const FilterExpr& fa = *a.steps[0].filters[0];
+  EXPECT_EQ(fa.value(), "v 1");
+  Path b = P("c[x='v2']");
+  EXPECT_EQ(b.steps[0].filters[0]->value(), "v2");
+  Path c = P("c[x=42]");
+  EXPECT_EQ(c.steps[0].filters[0]->value(), "42");
+}
+
+TEST(Parser, BooleanFilters) {
+  Path p = P("c[a=1 and b=2 or not(d)]");
+  const FilterExpr& f = *p.steps[0].filters[0];
+  // 'and' binds tighter than 'or'.
+  EXPECT_EQ(f.kind(), FilterExpr::Kind::kOr);
+  EXPECT_EQ(f.lhs()->kind(), FilterExpr::Kind::kAnd);
+  EXPECT_EQ(f.rhs()->kind(), FilterExpr::Kind::kNot);
+  EXPECT_EQ(f.rhs()->lhs()->kind(), FilterExpr::Kind::kPath);
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  Path p = P("c[(a or b) and d]");
+  const FilterExpr& f = *p.steps[0].filters[0];
+  EXPECT_EQ(f.kind(), FilterExpr::Kind::kAnd);
+  EXPECT_EQ(f.lhs()->kind(), FilterExpr::Kind::kOr);
+}
+
+TEST(Parser, LabelFilter) {
+  Path p = P("c/*[label()=prereq]");
+  const FilterExpr& f = *p.steps[1].filters[0];
+  EXPECT_EQ(f.kind(), FilterExpr::Kind::kLabelEq);
+  EXPECT_EQ(f.label(), "prereq");
+}
+
+TEST(Parser, NestedFilters) {
+  Path p = P("c[sub/C[cid=7]]");
+  const FilterExpr& f = *p.steps[0].filters[0];
+  ASSERT_EQ(f.kind(), FilterExpr::Kind::kPath);
+  ASSERT_EQ(f.path().steps.size(), 2u);
+  EXPECT_EQ(f.path().steps[1].filters.size(), 1u);
+}
+
+TEST(Parser, MultipleFiltersOnOneStep) {
+  Path p = P("c[a=1][b=2]");
+  EXPECT_EQ(p.steps[0].filters.size(), 2u);
+}
+
+TEST(Parser, FilterWithDescendantPath) {
+  Path p = P("c[//x=3]");
+  const FilterExpr& f = *p.steps[0].filters[0];
+  EXPECT_EQ(f.kind(), FilterExpr::Kind::kPathEq);
+  EXPECT_EQ(f.path().steps[0].axis, PathStep::Axis::kDescOrSelf);
+}
+
+TEST(Parser, SelfPath) {
+  Path p = P(".");
+  EXPECT_TRUE(p.steps.empty() ||
+              p.steps[0].axis == PathStep::Axis::kSelf);
+  Path q = P("");
+  EXPECT_TRUE(q.steps.empty());
+}
+
+TEST(Parser, Errors) {
+  EXPECT_FALSE(ParseXPath("c[").ok());
+  EXPECT_FALSE(ParseXPath("c[a=]").ok());
+  EXPECT_FALSE(ParseXPath("c[not a]").ok());
+  EXPECT_FALSE(ParseXPath("c[\"unterminated]").ok());
+  EXPECT_FALSE(ParseXPath("c]").ok());
+  EXPECT_FALSE(ParseXPath("c[()]").ok());
+}
+
+TEST(Parser, RoundTripThroughToString) {
+  for (const char* s :
+       {"course[cno=\"CS650\"]//course[cno=\"CS320\"]/prereq",
+        "//C[payload=\"5\" or payload=\"6\"]/sub", "a/*/b//c",
+        "c[label()=x and not(y)]"}) {
+    Path p1 = P(s);
+    Path p2 = P(p1.ToString());
+    EXPECT_EQ(p1.ToString(), p2.ToString()) << s;
+  }
+}
+
+TEST(NormalForm, SplitsFiltersIntoSelfSteps) {
+  NormalPath np = Normalize(P("course[cno=1]/prereq"));
+  // course, .[cno=1], prereq
+  ASSERT_EQ(np.steps.size(), 3u);
+  EXPECT_EQ(np.steps[0].kind, NormalStep::Kind::kLabel);
+  EXPECT_EQ(np.steps[1].kind, NormalStep::Kind::kFilter);
+  EXPECT_EQ(np.steps[2].kind, NormalStep::Kind::kLabel);
+}
+
+TEST(NormalForm, CombinesMultipleFiltersWithAnd) {
+  NormalPath np = Normalize(P("c[a=1][b=2]"));
+  ASSERT_EQ(np.steps.size(), 2u);
+  ASSERT_EQ(np.steps[1].kind, NormalStep::Kind::kFilter);
+  EXPECT_EQ(np.steps[1].filter->kind(), FilterExpr::Kind::kAnd);
+}
+
+TEST(NormalForm, DescOrSelfAndWildcard) {
+  NormalPath np = Normalize(P("//*"));
+  ASSERT_EQ(np.steps.size(), 2u);
+  EXPECT_EQ(np.steps[0].kind, NormalStep::Kind::kDescOrSelf);
+  EXPECT_EQ(np.steps[1].kind, NormalStep::Kind::kWildcard);
+}
+
+TEST(NormalForm, EmptyPath) {
+  NormalPath np = Normalize(P("."));
+  EXPECT_TRUE(np.steps.empty());
+}
+
+}  // namespace
+}  // namespace xvu
