@@ -1,0 +1,154 @@
+// Batched vs per-op update translation (the tentpole scenario of the
+// batched pipeline): N insertions sharing one target path, applied (a) as
+// N sequential ApplyStatement calls and (b) as one ApplyBatch.
+//
+// The batch must perform exactly ONE XPath evaluation and ONE maintenance
+// pass for the whole group (Fig.11's (a) and (c) phases amortized over N),
+// produce a view identical to the sequential run, and beat it by at least
+// XVU_BENCH_BATCH_MIN_SPEEDUP (default 2) in wall-clock time. The binary
+// exits non-zero if any property fails, so it doubles as a regression
+// check.
+//
+// Knobs: XVU_BENCH_BATCH_C (|C|, default 20000), XVU_BENCH_BATCH_N
+// (ops per batch, default 100).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/pipeline.h"
+
+namespace xvu {
+namespace bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+int64_t EnvOr(const char* name, int64_t fallback) {
+  const char* env = std::getenv(name);
+  return env != nullptr ? std::atoll(env) : fallback;
+}
+
+/// A filter-passing parent id, recovered from the workload generator's own
+/// sub-insertion statements ("insert C(...) into //C[cid=\"P\"]/sub").
+Result<std::string> PassingParent(const Database& base) {
+  XVU_ASSIGN_OR_RETURN(std::vector<std::string> stmts,
+                       MakeInsertionWorkload(WorkloadClass::kW1, base, 32,
+                                             4242));
+  const std::string marker = "into //C[cid=\"";
+  for (const std::string& s : stmts) {
+    size_t at = s.find(marker);
+    if (at == std::string::npos || s.find("/sub") == std::string::npos) {
+      continue;
+    }
+    size_t from = at + marker.size();
+    size_t to = s.find('"', from);
+    if (to != std::string::npos) return s.substr(from, to - from);
+  }
+  return Status::NotFound("no sub-insertion statement in the workload");
+}
+
+int Run() {
+  size_t n = static_cast<size_t>(EnvOr("XVU_BENCH_BATCH_C", 20000));
+  size_t num_ops = static_cast<size_t>(EnvOr("XVU_BENCH_BATCH_N", 100));
+  double min_speedup = 2.0;
+  if (const char* env = std::getenv("XVU_BENCH_BATCH_MIN_SPEEDUP")) {
+    min_speedup = std::atof(env);
+  }
+
+  UpdateSystem* seq = FreshSystemFor(n, 77);
+  UpdateSystem* bat = FreshSystemFor(n, 77);
+
+  auto parent = PassingParent(seq->database());
+  if (!parent.ok()) {
+    std::fprintf(stderr, "%s\n", parent.status().ToString().c_str());
+    return 1;
+  }
+  std::string path = "//C[cid=\"" + *parent + "\"]/sub";
+  std::vector<std::string> stmts;
+  stmts.reserve(num_ops);
+  for (size_t i = 0; i < num_ops; ++i) {
+    int64_t id = 50000000 + static_cast<int64_t>(i);
+    stmts.push_back("insert C(" + std::to_string(id) + ", " +
+                    std::to_string(id % 100) + ") into " + path);
+  }
+  std::printf("batch pipeline bench: |C|=%zu, N=%zu, path=%s\n", n, num_ops,
+              path.c_str());
+
+  // (a) Per-op loop: N full pipeline runs.
+  size_t seq_evals = 0, seq_passes = 0;
+  auto t0 = Clock::now();
+  for (const std::string& s : stmts) {
+    Status st = seq->ApplyStatement(s);
+    if (!st.ok()) {
+      std::fprintf(stderr, "sequential op failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    seq_evals += seq->last_stats().xpath_evaluations;
+    seq_passes += seq->last_stats().maintenance_passes;
+  }
+  double seq_seconds = SecondsSince(t0);
+
+  // (b) One batch.
+  UpdateBatch batch;
+  for (const std::string& s : stmts) {
+    Status st = batch.Add(s, bat->atg());
+    if (!st.ok()) {
+      std::fprintf(stderr, "parse failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  t0 = Clock::now();
+  Status st = bat->ApplyBatch(batch);
+  double batch_seconds = SecondsSince(t0);
+  if (!st.ok()) {
+    std::fprintf(stderr, "batch failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const UpdateStats& bs = bat->last_stats();
+
+  double speedup = batch_seconds > 0 ? seq_seconds / batch_seconds : 0;
+  std::printf("  sequential: %8.2f ms  (%zu xpath evals, %zu maintenance "
+              "passes)\n",
+              seq_seconds * 1e3, seq_evals, seq_passes);
+  std::printf("  batched:    %8.2f ms  (%zu xpath evals, %zu cache hits, "
+              "%zu maintenance passes)\n",
+              batch_seconds * 1e3, bs.xpath_evaluations, bs.xpath_cache_hits,
+              bs.maintenance_passes);
+  std::printf("  breakdown:  xpath %.2f ms, translate %.2f ms, maintain "
+              "%.2f ms\n",
+              bs.xpath_seconds * 1e3, bs.translate_seconds * 1e3,
+              bs.maintain_seconds * 1e3);
+  std::printf("  speedup:    %.2fx (required >= %.2fx)\n", speedup,
+              min_speedup);
+
+  int failures = 0;
+  auto check = [&](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+    if (!ok) ++failures;
+  };
+  check(bs.xpath_evaluations == 1, "batch performs exactly 1 XPath eval");
+  check(bs.xpath_cache_hits == num_ops - 1,
+        "remaining ops served from the eval cache");
+  check(bs.maintenance_passes == 1,
+        "batch performs exactly 1 maintenance pass");
+  check(seq->dag().CanonicalEdges() == bat->dag().CanonicalEdges(),
+        "batched view identical to sequential view");
+  check(seq->database().TotalRows() == bat->database().TotalRows(),
+        "batched base identical to sequential base");
+  check(speedup >= min_speedup, "batched run meets the speedup bar");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace xvu
+
+int main() { return xvu::bench::Run(); }

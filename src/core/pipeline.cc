@@ -1,0 +1,391 @@
+#include "src/core/pipeline.h"
+
+#include <chrono>
+#include <map>
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+#include "src/core/system.h"
+#include "src/core/translate.h"
+#include "src/dtd/validate.h"
+#include "src/viewupdate/batch.h"
+#include "src/viewupdate/minimal_delete.h"
+#include "src/xpath/normal_form.h"
+#include "src/xpath/parser.h"
+
+namespace xvu {
+
+void UpdateBatch::Insert(std::string elem_type, Tuple attr, Path p) {
+  XmlUpdate u;
+  u.kind = XmlUpdate::Kind::kInsert;
+  u.elem_type = std::move(elem_type);
+  u.attr = std::move(attr);
+  u.path = std::move(p);
+  ops_.push_back(std::move(u));
+}
+
+void UpdateBatch::Delete(Path p) {
+  XmlUpdate u;
+  u.kind = XmlUpdate::Kind::kDelete;
+  u.path = std::move(p);
+  ops_.push_back(std::move(u));
+}
+
+Status UpdateBatch::Add(const std::string& stmt, const Atg& atg) {
+  XVU_ASSIGN_OR_RETURN(XmlUpdate u, ParseUpdate(stmt, atg));
+  ops_.push_back(std::move(u));
+  return Status::OK();
+}
+
+const EvalResult* PathEvalCache::Lookup(const std::string& key,
+                                        uint64_t dag_version) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (it->second.version != dag_version) {
+    entries_.erase(it);
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return &it->second.result;
+}
+
+const EvalResult* PathEvalCache::Store(std::string key, uint64_t dag_version,
+                                       EvalResult result) {
+  Entry& e = entries_[std::move(key)];
+  e.version = dag_version;
+  e.result = std::move(result);
+  return &e.result;
+}
+
+void PathEvalCache::EvictStale(uint64_t dag_version) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.version != dag_version) {
+      it = entries_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PathEvalCache::Clear() { entries_.clear(); }
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+std::string OpLabel(size_t index, const XmlUpdate& op) {
+  return "op #" + std::to_string(index) + " (" + op.ToString() + ")";
+}
+
+}  // namespace
+
+Status UpdateSystem::ApplyBatch(const UpdateBatch& batch) {
+  stats_ = UpdateStats{};
+  stats_.batch_ops = batch.size();
+  if (batch.empty()) return Status::OK();
+  const std::vector<XmlUpdate>& ops = batch.ops();
+
+  // ---- Phase 0: schema-level validation of every op, before any work.
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const XmlUpdate& op = ops[i];
+    if (op.kind == XmlUpdate::Kind::kInsert) {
+      XVU_RETURN_NOT_OK(ValidateInsert(atg_.dtd(), op.path, op.elem_type));
+      const std::vector<Column>* schema = atg_.AttrSchema(op.elem_type);
+      if (schema == nullptr || schema->size() != op.attr.size()) {
+        return Status::InvalidArgument("attribute arity mismatch for " +
+                                       op.elem_type + " in " +
+                                       OpLabel(i, op));
+      }
+    } else {
+      XVU_RETURN_NOT_OK(ValidateDelete(atg_.dtd(), op.path));
+    }
+  }
+
+  // ---- Phase 1: shared XPath evaluation. All ops see the same snapshot
+  // (nothing is mutated until phase 4), so each distinct normal-form path
+  // is evaluated exactly once; repeats are guaranteed cache hits.
+  auto t0 = Clock::now();
+  XPathEvaluator evaluator(&dag_, &topo_, &reach_);
+  const uint64_t snapshot_version = dag_.version();
+  eval_cache_.EvictStale(snapshot_version);
+  std::vector<const EvalResult*> evals(ops.size());
+  std::set<std::string> distinct_keys;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    std::string key = NormalFormKey(ops[i].path);
+    distinct_keys.insert(key);
+    const EvalResult* ev = eval_cache_.Lookup(key, snapshot_version);
+    if (ev != nullptr) {
+      ++stats_.xpath_cache_hits;
+    } else {
+      ++stats_.xpath_evaluations;
+      XVU_ASSIGN_OR_RETURN(EvalResult fresh, evaluator.Evaluate(ops[i].path));
+      ev = eval_cache_.Store(std::move(key), snapshot_version,
+                            std::move(fresh));
+    }
+    evals[i] = ev;
+    stats_.selected += ev->selected.size();
+    if (ev->has_side_effects()) stats_.had_side_effects = true;
+    if (ev->selected.empty()) {
+      return Status::Rejected("XPath selects no nodes in " +
+                              OpLabel(i, ops[i]));
+    }
+    if (ev->has_side_effects() &&
+        options_.side_effects == SideEffectPolicy::kAbort) {
+      return Status::Rejected(
+          "XML side effects (" +
+          std::to_string(ev->side_effect_nodes.size()) +
+          " additional affected nodes) in " + OpLabel(i, ops[i]) +
+          "; aborted by policy");
+    }
+  }
+  stats_.distinct_paths = distinct_keys.size();
+  auto t1 = Clock::now();
+  stats_.xpath_seconds = Seconds(t0, t1);
+
+  // ---- Phase 2: intra-batch conflict detection (still read-only).
+  // (a) Two delete ops selecting the same view edge.
+  std::set<std::pair<NodeId, NodeId>> del_edge_set;
+  std::vector<std::pair<NodeId, NodeId>> del_edges;  // insertion order
+  std::vector<NodeId> del_selected;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind != XmlUpdate::Kind::kDelete) continue;
+    for (const auto& e : evals[i]->parent_edges) {
+      if (!del_edge_set.insert(e).second) {
+        return Status::Rejected("intra-batch conflict: edge (" +
+                                std::to_string(e.first) + "," +
+                                std::to_string(e.second) +
+                                ") deleted twice; second time by " +
+                                OpLabel(i, ops[i]));
+      }
+      del_edges.push_back(e);
+    }
+    del_selected.insert(del_selected.end(), evals[i]->selected.begin(),
+                        evals[i]->selected.end());
+    stats_.parent_edges += evals[i]->parent_edges.size();
+  }
+  // (b) A delete op whose edges hang inside a subtree that another delete
+  // op tears off: applied sequentially, the later op would no longer find
+  // them, so snapshot application is not faithful.
+  std::vector<size_t> del_ops;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind == XmlUpdate::Kind::kDelete) del_ops.push_back(i);
+  }
+  if (del_ops.size() > 1) {
+    for (size_t j : del_ops) {
+      std::vector<NodeId> cone = CollectDescOrSelf(dag_, evals[j]->selected);
+      std::unordered_set<NodeId> cone_set(cone.begin(), cone.end());
+      for (size_t i : del_ops) {
+        if (i == j) continue;
+        for (const auto& e : evals[i]->parent_edges) {
+          if (cone_set.count(e.first) > 0) {
+            return Status::Rejected(
+                "intra-batch conflict: " + OpLabel(i, ops[i]) +
+                " deletes edges inside a subtree deleted by " +
+                OpLabel(j, ops[j]));
+          }
+        }
+      }
+    }
+  }
+  // (c) An insert targeting a node a delete may tear off. Conservative:
+  // any target inside desc-or-self of a deleted selection conflicts, even
+  // if the node would survive through another parent.
+  std::vector<NodeId> del_cone = CollectDescOrSelf(dag_, del_selected);
+  std::unordered_set<NodeId> del_cone_set(del_cone.begin(), del_cone.end());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind != XmlUpdate::Kind::kInsert) continue;
+    for (NodeId u : evals[i]->selected) {
+      if (del_cone_set.count(u) > 0) {
+        return Status::Rejected(
+            "intra-batch conflict: " + OpLabel(i, ops[i]) +
+            " targets a node inside a subtree deleted by the same batch");
+      }
+    }
+  }
+
+  // ---- Phase 3: one consolidated ∆V → ∆R translation.
+  // Deletes: every selected edge's witness rows, in one group.
+  XVU_ASSIGN_OR_RETURN(std::vector<ViewRowOp> del_dv,
+                       XDeleteRows(store_, dag_, del_edges));
+  RelationalUpdate dr;
+  if (!del_dv.empty()) {
+    XVU_ASSIGN_OR_RETURN(dr, options_.minimal_deletions
+                                 ? TranslateMinimalDeletion(store_, db_,
+                                                            del_dv)
+                                 : TranslateGroupDeletion(store_, db_,
+                                                          del_dv));
+  }
+  // Inserts: per-op connect rows (identical rows from two ops = conflict),
+  // then one group translation — a single symbolic evaluation + SAT
+  // encoding for the whole batch.
+  struct InsertPlan {
+    size_t op_index = 0;
+    std::vector<ViewRowOp> dv;
+  };
+  std::vector<InsertPlan> plans;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind != XmlUpdate::Kind::kInsert) continue;
+    XVU_ASSIGN_OR_RETURN(
+        std::vector<ViewRowOp> dv,
+        XInsertConnectRows(store_, db_, dag_, evals[i]->selected,
+                           ops[i].elem_type, ops[i].attr));
+    plans.push_back(InsertPlan{i, std::move(dv)});
+  }
+  std::vector<const std::vector<ViewRowOp>*> ins_dv_per_op;
+  ins_dv_per_op.reserve(plans.size());
+  for (const InsertPlan& plan : plans) ins_dv_per_op.push_back(&plan.dv);
+  XVU_ASSIGN_OR_RETURN(std::vector<ViewRowOp> ins_dv,
+                       ConsolidateViewOps(ins_dv_per_op));
+  if (!ins_dv.empty()) {
+    // The symbolic work cap is sized for one op; a batch gets the same
+    // total budget the ops would have had sequentially.
+    InsertOptions ins_options = options_.insert;
+    ins_options.max_symbolic_candidates *= plans.size();
+    XVU_ASSIGN_OR_RETURN(
+        InsertTranslation tr,
+        TranslateGroupInsertion(store_, db_, ins_dv, ins_options));
+    stats_.used_sat = tr.used_sat;
+    dr.ops.insert(dr.ops.end(), tr.delta_r.ops.begin(), tr.delta_r.ops.end());
+  }
+  stats_.delta_v = del_dv.size() + ins_dv.size();
+  stats_.delta_r = dr.ops.size();
+  XVU_RETURN_NOT_OK(CheckRelationalConflicts(dr, db_));
+
+  // ---- Phase 4: apply — ∆R in one pass, then the view-side changes,
+  // journaling everything for all-or-nothing rollback.
+  std::vector<TableOp> undo;
+  XVU_RETURN_NOT_OK(ApplyDeltaRTracked(dr, &undo));
+
+  std::vector<std::pair<NodeId, NodeId>> removed_edges;
+  std::vector<ViewRowOp> removed_rows;
+  std::vector<Publisher::SubtreeResult> published;
+  std::vector<std::pair<NodeId, NodeId>> added_edges;
+  std::vector<ViewRowOp> added_rows;
+  auto rollback_all = [&]() {
+    for (auto it = added_rows.rbegin(); it != added_rows.rend(); ++it) {
+      (void)store_.RemoveEdgeRow(it->view_name, it->row);
+    }
+    for (auto it = added_edges.rbegin(); it != added_edges.rend(); ++it) {
+      (void)dag_.RemoveEdge(it->first, it->second);
+    }
+    for (auto it = published.rbegin(); it != published.rend(); ++it) {
+      RollbackSubtree(*it);
+    }
+    for (auto it = removed_rows.rbegin(); it != removed_rows.rend(); ++it) {
+      (void)store_.AddEdgeRow(it->view_name, it->row);
+    }
+    for (auto it = removed_edges.rbegin(); it != removed_edges.rend(); ++it) {
+      (void)dag_.AddEdge(it->first, it->second);
+    }
+    Rollback(undo);
+  };
+
+  // 4a: deletes — drop the selected edges and their witness rows.
+  for (const auto& [u, v] : del_edges) {
+    Status st = dag_.RemoveEdge(u, v);
+    if (!st.ok()) {
+      rollback_all();
+      return st;
+    }
+    removed_edges.emplace_back(u, v);
+  }
+  for (const ViewRowOp& op : del_dv) {
+    Status st = store_.RemoveEdgeRow(op.view_name, op.row);
+    if (!st.ok()) {
+      rollback_all();
+      return st;
+    }
+    removed_rows.push_back(op);
+  }
+
+  // 4b: inserts — publish each distinct subtree once, connect all targets.
+  Publisher pub(&atg_, &db_);
+  std::map<std::pair<std::string, std::string>, NodeId> roots;
+  for (const InsertPlan& plan : plans) {
+    const XmlUpdate& op = ops[plan.op_index];
+    auto root_key = std::make_pair(op.elem_type, TupleToString(op.attr));
+    auto rit = roots.find(root_key);
+    NodeId root;
+    if (rit != roots.end()) {
+      root = rit->second;
+    } else {
+      auto sub = pub.PublishSubtree(op.elem_type, op.attr, &dag_, &store_);
+      if (!sub.ok()) {
+        rollback_all();
+        return sub.status();
+      }
+      if (sub->cyclic) {
+        RollbackSubtree(*sub);
+        rollback_all();
+        return Status::Rejected("subtree of " +
+                                OpLabel(plan.op_index, op) +
+                                " makes the view cyclic");
+      }
+      stats_.subtree_edges += sub->new_edges.size();
+      root = sub->root;
+      published.push_back(std::move(*sub));
+      roots.emplace(root_key, root);
+    }
+    // Cycle guard against the live DAG: it already contains every earlier
+    // mutation of this batch, so cycles formed by op *combinations* (which
+    // no snapshot check can see) are caught here.
+    std::vector<NodeId> cone = CollectDescOrSelf(dag_, {root});
+    std::unordered_set<NodeId> cone_set(cone.begin(), cone.end());
+    for (NodeId u : evals[plan.op_index]->selected) {
+      if (cone_set.count(u) > 0) {
+        rollback_all();
+        return Status::Rejected("inserting (" + op.elem_type +
+                                ", ...) in " + OpLabel(plan.op_index, op) +
+                                " would make the view cyclic");
+      }
+    }
+    const std::vector<NodeId>& targets = evals[plan.op_index]->selected;
+    for (size_t k = 0; k < targets.size(); ++k) {
+      if (dag_.AddEdge(targets[k], root)) {
+        added_edges.emplace_back(targets[k], root);
+      }
+      // Fix the child_id placeholder and materialize the witness row.
+      Tuple row = plan.dv[k].row;
+      row[1] = Value::Int(static_cast<int64_t>(root));
+      Status st = store_.AddEdgeRow(plan.dv[k].view_name, row);
+      if (!st.ok()) {
+        rollback_all();
+        return st;
+      }
+      added_rows.push_back(ViewRowOp{plan.dv[k].view_name, std::move(row)});
+    }
+  }
+  auto t2 = Clock::now();
+  stats_.translate_seconds = Seconds(t1, t2);
+
+  // ---- Phase 5: one deferred maintenance pass for the whole batch.
+  MaintenanceDelta delta;
+  Status ms = MaintainBatch(&dag_, &reach_, &topo_, &delta);
+  if (!ms.ok()) {
+    // Unreachable if the cycle guards above are correct. MaintainBatch may
+    // have garbage-collected parts the journal does not cover, so a
+    // journal rollback would be incoherent; the batch's ∆R is already
+    // durable, and a full resync from the base rebuilds every structure
+    // consistently with it.
+    Status resync = Initialize();
+    if (!resync.ok()) return resync;
+    return ms;
+  }
+  stats_.maintenance_passes = 1;
+  XVU_RETURN_NOT_OK(ReclaimCollected(delta));
+  stats_.maintain_seconds = Seconds(t2, Clock::now());
+  return Status::OK();
+}
+
+}  // namespace xvu

@@ -1,0 +1,89 @@
+#ifndef XVU_CORE_PIPELINE_H_
+#define XVU_CORE_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/evaluator.h"
+#include "src/core/update.h"
+
+namespace xvu {
+
+/// An ordered group of XML view updates submitted as one unit of work.
+///
+/// A batch is applied under *snapshot semantics* (the paper's group-update
+/// reading of ∆X): every op's XPath is evaluated against the same
+/// pre-batch view, the per-op ∆V fragments are consolidated into a single
+/// group translation, and one ∆R is applied atomically. Structural
+/// overlaps between ops (the same edge deleted twice, inserts into
+/// subtrees a delete tears off, duplicate rows, contradictory ∆R) are
+/// rejected as intra-batch conflicts. The checks are conservative, not
+/// complete: an op whose *path evaluation* depends on another op's effect
+/// (e.g. inserting into nodes a sibling op creates) is still evaluated
+/// against the snapshot — that is the defined semantics, and it matches
+/// sequential application exactly for independent ops.
+class UpdateBatch {
+ public:
+  /// Appends `insert (elem_type, attr) into p`.
+  void Insert(std::string elem_type, Tuple attr, Path p);
+  /// Appends `delete p`.
+  void Delete(Path p);
+  /// Parses and appends a textual update statement.
+  Status Add(const std::string& stmt, const Atg& atg);
+
+  const std::vector<XmlUpdate>& ops() const { return ops_; }
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+ private:
+  std::vector<XmlUpdate> ops_;
+};
+
+/// Memoized XPath evaluation results, keyed on the path's normal-form key
+/// (NormalFormKey) plus the DagView version the evaluation ran against.
+///
+/// Within a batch no state is mutated between evaluations, so every
+/// repeated path is a guaranteed hit; across batches an entry survives
+/// exactly until the DAG changes (a stale entry is evicted on lookup).
+/// Delta-maintaining cached node-sets across versions instead of
+/// invalidating is future work (see ROADMAP).
+class PathEvalCache {
+ public:
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t invalidations = 0;  ///< entries evicted for a stale DAG version
+  };
+
+  /// Returns the entry for `key` at exactly `dag_version`, or nullptr.
+  /// An entry at any other version is evicted (counted as invalidation).
+  const EvalResult* Lookup(const std::string& key, uint64_t dag_version);
+
+  /// Stores (replacing any entry for `key`) and returns the stored result.
+  const EvalResult* Store(std::string key, uint64_t dag_version,
+                          EvalResult result);
+
+  /// Drops every entry not at `dag_version` (counted as invalidations).
+  /// Versions are monotone, so such entries can never hit again; calling
+  /// this per batch bounds the cache by the live version's distinct paths.
+  void EvictStale(uint64_t dag_version);
+
+  void Clear();
+
+  size_t size() const { return entries_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    uint64_t version = 0;
+    EvalResult result;
+  };
+  std::unordered_map<std::string, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace xvu
+
+#endif  // XVU_CORE_PIPELINE_H_

@@ -35,7 +35,10 @@ Result<std::unique_ptr<UpdateSystem>> UpdateSystem::Create(Atg atg,
 }
 
 Status UpdateSystem::Initialize() {
-  // Reset any previous state: Initialize doubles as a full resync.
+  // Reset any previous state: Initialize doubles as a full resync. The
+  // eval cache must go too — a fresh DagView restarts its version counter,
+  // so stale entries could otherwise collide with new versions.
+  eval_cache_.Clear();
   store_ = ViewStore();
   dag_ = DagView();
   Publisher pub(&atg_, &db_);
@@ -107,9 +110,56 @@ void UpdateSystem::Rollback(const std::vector<TableOp>& undo) {
   }
 }
 
+void UpdateSystem::RollbackSubtree(const Publisher::SubtreeResult& st) {
+  for (auto it = st.new_edges.rbegin(); it != st.new_edges.rend(); ++it) {
+    (void)dag_.RemoveEdge(it->first, it->second);
+  }
+  for (auto it = st.new_nodes.rbegin(); it != st.new_nodes.rend(); ++it) {
+    NodeId n = *it;
+    const std::string& type = dag_.node(n).type;
+    // Witness rows added during this publication all have a new parent.
+    for (const std::string& vn : store_.EdgeViewNames()) {
+      const EdgeViewInfo* info = store_.GetEdgeView(vn);
+      if (info->parent_type != type) continue;
+      Table* vt = store_.db().GetTable(vn);
+      std::vector<Tuple> rows;
+      vt->ForEach([&](const Tuple& r) {
+        if (r[0] == Value::Int(static_cast<int64_t>(n))) rows.push_back(r);
+      });
+      for (const Tuple& r : rows) (void)store_.RemoveEdgeRow(vn, r);
+    }
+    (void)store_.RemoveGenRow(type, static_cast<int64_t>(n));
+    (void)dag_.RemoveNode(n);
+  }
+}
+
+Status UpdateSystem::ReclaimCollected(const MaintenanceDelta& delta) {
+  for (const auto& [u, v] : delta.orphan_edges) {
+    // Types must be read before the node rows are reclaimed; dead nodes
+    // are tombstoned but their labels remain accessible.
+    const std::string& pt = dag_.node(u).type;
+    const std::string& ct = dag_.node(v).type;
+    const EdgeViewInfo* info = store_.FindEdgeViewByTypes(pt, ct);
+    if (info == nullptr) continue;
+    for (const Tuple& row :
+         store_.EdgeRowsFor(info->name, static_cast<int64_t>(u),
+                            static_cast<int64_t>(v))) {
+      XVU_RETURN_NOT_OK(store_.RemoveEdgeRow(info->name, row));
+    }
+  }
+  for (NodeId n : delta.removed_nodes) {
+    XVU_RETURN_NOT_OK(
+        store_.RemoveGenRow(dag_.node(n).type, static_cast<int64_t>(n)));
+  }
+  return Status::OK();
+}
+
 Status UpdateSystem::ApplyInsert(const std::string& elem_type,
                                  const Tuple& attr, const Path& p) {
   stats_ = UpdateStats{};
+  stats_.batch_ops = 1;
+  stats_.distinct_paths = 1;
+  stats_.xpath_evaluations = 1;
   // Phase 0: schema-level validation (Section 2.4).
   XVU_RETURN_NOT_OK(ValidateInsert(atg_.dtd(), p, elem_type));
   const std::vector<Column>* schema = atg_.AttrSchema(elem_type);
@@ -168,28 +218,6 @@ Status UpdateSystem::ApplyInsert(const std::string& elem_type,
 
   Publisher pub(&atg_, &db_);
   auto sub = pub.PublishSubtree(elem_type, attr, &dag_, &store_);
-  auto rollback_subtree = [&](const Publisher::SubtreeResult& st) {
-    for (auto it = st.new_edges.rbegin(); it != st.new_edges.rend(); ++it) {
-      (void)dag_.RemoveEdge(it->first, it->second);
-    }
-    for (auto it = st.new_nodes.rbegin(); it != st.new_nodes.rend(); ++it) {
-      NodeId n = *it;
-      const std::string& type = dag_.node(n).type;
-      // Witness rows added during this publication all have a new parent.
-      for (const std::string& vn : store_.EdgeViewNames()) {
-        const EdgeViewInfo* info = store_.GetEdgeView(vn);
-        if (info->parent_type != type) continue;
-        Table* vt = store_.db().GetTable(vn);
-        std::vector<Tuple> rows;
-        vt->ForEach([&](const Tuple& r) {
-          if (r[0] == Value::Int(static_cast<int64_t>(n))) rows.push_back(r);
-        });
-        for (const Tuple& r : rows) (void)store_.RemoveEdgeRow(vn, r);
-      }
-      (void)store_.RemoveGenRow(type, static_cast<int64_t>(n));
-      (void)dag_.RemoveNode(n);
-    }
-  };
   if (!sub.ok()) {
     Rollback(undo);
     return sub.status();
@@ -197,7 +225,7 @@ Status UpdateSystem::ApplyInsert(const std::string& elem_type,
   Publisher::SubtreeResult st = std::move(sub).value();
   stats_.subtree_edges = st.new_edges.size();
   if (st.cyclic) {
-    rollback_subtree(st);
+    RollbackSubtree(st);
     Rollback(undo);
     return Status::Rejected("inserted subtree makes the view cyclic");
   }
@@ -207,7 +235,7 @@ Status UpdateSystem::ApplyInsert(const std::string& elem_type,
     std::unordered_set<NodeId> cone_set(cone.begin(), cone.end());
     for (NodeId u : ev.selected) {
       if (cone_set.count(u) > 0) {
-        rollback_subtree(st);
+        RollbackSubtree(st);
         Rollback(undo);
         return Status::Rejected(
             "inserting (" + elem_type +
@@ -216,13 +244,26 @@ Status UpdateSystem::ApplyInsert(const std::string& elem_type,
     }
   }
   std::vector<NodeId> connected;
+  std::vector<ViewRowOp> added_rows;
   for (size_t i = 0; i < ev.selected.size(); ++i) {
     NodeId u = ev.selected[i];
     if (dag_.AddEdge(u, st.root)) connected.push_back(u);
     // Fix up the child_id placeholder and materialize the witness row.
     Tuple row = dv[i].row;
     row[1] = Value::Int(static_cast<int64_t>(st.root));
-    XVU_RETURN_NOT_OK(store_.AddEdgeRow(dv[i].view_name, row));
+    Status row_st = store_.AddEdgeRow(dv[i].view_name, row);
+    if (!row_st.ok()) {
+      for (auto it = added_rows.rbegin(); it != added_rows.rend(); ++it) {
+        (void)store_.RemoveEdgeRow(it->view_name, it->row);
+      }
+      for (auto it = connected.rbegin(); it != connected.rend(); ++it) {
+        (void)dag_.RemoveEdge(*it, st.root);
+      }
+      RollbackSubtree(st);
+      Rollback(undo);
+      return row_st;
+    }
+    added_rows.push_back(ViewRowOp{dv[i].view_name, std::move(row)});
   }
   auto t2 = Clock::now();
   stats_.translate_seconds = Seconds(t1, t2);
@@ -231,12 +272,16 @@ Status UpdateSystem::ApplyInsert(const std::string& elem_type,
   MaintenanceDelta delta;
   XVU_RETURN_NOT_OK(MaintainInsert(dag_, st.root, st.new_nodes, connected,
                                    &reach_, &topo_, &delta));
+  stats_.maintenance_passes = 1;
   stats_.maintain_seconds = Seconds(t2, Clock::now());
   return Status::OK();
 }
 
 Status UpdateSystem::ApplyDelete(const Path& p) {
   stats_ = UpdateStats{};
+  stats_.batch_ops = 1;
+  stats_.distinct_paths = 1;
+  stats_.xpath_evaluations = 1;
   XVU_RETURN_NOT_OK(ValidateDelete(atg_.dtd(), p));
 
   auto t0 = Clock::now();
@@ -270,12 +315,34 @@ Status UpdateSystem::ApplyDelete(const Path& p) {
 
   std::vector<TableOp> undo;
   XVU_RETURN_NOT_OK(ApplyDeltaRTracked(*dr, &undo));
-  // Apply ∆V: drop the edges and their witness rows.
+  // Apply ∆V: drop the edges and their witness rows, restoring everything
+  // applied so far if any single removal fails.
+  std::vector<std::pair<NodeId, NodeId>> removed_edges;
+  std::vector<ViewRowOp> removed_rows;
+  auto restore = [&]() {
+    for (auto it = removed_rows.rbegin(); it != removed_rows.rend(); ++it) {
+      (void)store_.AddEdgeRow(it->view_name, it->row);
+    }
+    for (auto it = removed_edges.rbegin(); it != removed_edges.rend(); ++it) {
+      (void)dag_.AddEdge(it->first, it->second);
+    }
+    Rollback(undo);
+  };
   for (const auto& [u, v] : ev.parent_edges) {
-    XVU_RETURN_NOT_OK(dag_.RemoveEdge(u, v));
+    Status edge_st = dag_.RemoveEdge(u, v);
+    if (!edge_st.ok()) {
+      restore();
+      return edge_st;
+    }
+    removed_edges.emplace_back(u, v);
   }
   for (const ViewRowOp& op : dv) {
-    XVU_RETURN_NOT_OK(store_.RemoveEdgeRow(op.view_name, op.row));
+    Status row_st = store_.RemoveEdgeRow(op.view_name, op.row);
+    if (!row_st.ok()) {
+      restore();
+      return row_st;
+    }
+    removed_rows.push_back(op);
   }
   auto t2 = Clock::now();
   stats_.translate_seconds = Seconds(t1, t2);
@@ -284,25 +351,8 @@ Status UpdateSystem::ApplyDelete(const Path& p) {
   MaintenanceDelta delta;
   XVU_RETURN_NOT_OK(
       MaintainDelete(&dag_, ev.selected, &reach_, &topo_, &delta));
-  // Reclaim the relational coding of collected parts: witness rows of
-  // orphan edges, then gen rows of removed nodes.
-  for (const auto& [u, v] : delta.orphan_edges) {
-    // Types must be read before the node rows are reclaimed; dead nodes
-    // are tombstoned but their labels remain accessible.
-    const std::string& pt = dag_.node(u).type;
-    const std::string& ct = dag_.node(v).type;
-    const EdgeViewInfo* info = store_.FindEdgeViewByTypes(pt, ct);
-    if (info == nullptr) continue;
-    for (const Tuple& row :
-         store_.EdgeRowsFor(info->name, static_cast<int64_t>(u),
-                            static_cast<int64_t>(v))) {
-      XVU_RETURN_NOT_OK(store_.RemoveEdgeRow(info->name, row));
-    }
-  }
-  for (NodeId n : delta.removed_nodes) {
-    XVU_RETURN_NOT_OK(
-        store_.RemoveGenRow(dag_.node(n).type, static_cast<int64_t>(n)));
-  }
+  XVU_RETURN_NOT_OK(ReclaimCollected(delta));
+  stats_.maintenance_passes = 1;
   stats_.maintain_seconds = Seconds(t2, Clock::now());
   return Status::OK();
 }

@@ -8,6 +8,7 @@
 #include "src/atg/atg.h"
 #include "src/atg/publisher.h"
 #include "src/core/evaluator.h"
+#include "src/core/pipeline.h"
 #include "src/core/update.h"
 #include "src/dag/maintenance.h"
 #include "src/dag/reachability.h"
@@ -36,6 +37,16 @@ struct UpdateStats {
   size_t subtree_edges = 0;  ///< |E_A| for insertions
   bool had_side_effects = false;
   bool used_sat = false;
+
+  /// Batched-pipeline counters. ApplyBatch fills them for the whole batch;
+  /// the per-op entry points report the single-op equivalents (batch_ops =
+  /// xpath_evaluations = maintenance_passes = 1), so callers can compare
+  /// the two paths uniformly.
+  size_t batch_ops = 0;          ///< ops in this unit of work
+  size_t distinct_paths = 0;     ///< distinct normal-form path keys
+  size_t xpath_evaluations = 0;  ///< actual evaluator runs (cache misses)
+  size_t xpath_cache_hits = 0;   ///< evaluations served from PathEvalCache
+  size_t maintenance_passes = 0;
 
   double total_seconds() const {
     return xpath_seconds + translate_seconds + maintain_seconds;
@@ -74,6 +85,19 @@ class UpdateSystem {
   Status ApplyDelete(const Path& p);
   /// Parses and applies a textual update statement.
   Status ApplyStatement(const std::string& stmt);
+
+  /// Applies a whole batch atomically under snapshot semantics (see
+  /// UpdateBatch): one shared XPath evaluation per distinct normalized
+  /// path, one consolidated ∆V → ∆R translation, one ∆R application, and
+  /// one deferred maintenance pass — instead of the per-op pipeline run N
+  /// times. Rejected (leaving all state untouched) on any per-op
+  /// validation failure or intra-batch conflict. Implemented in
+  /// core/pipeline.cc.
+  Status ApplyBatch(const UpdateBatch& batch);
+
+  /// Memoized XPath evaluations shared by batched updates.
+  const PathEvalCache& eval_cache() const { return eval_cache_; }
+  void ClearEvalCache() { eval_cache_.Clear(); }
 
   /// Propagates a *relational* group update into the maintained view —
   /// the incremental-publishing direction ([8] in the paper; Fig.3's
@@ -115,6 +139,15 @@ class UpdateSystem {
                             std::vector<TableOp>* undo);
   void Rollback(const std::vector<TableOp>& undo);
 
+  /// Undoes one subtree publication: removes its new edges, the witness
+  /// rows materialized under its new nodes, their gen rows, and finally
+  /// the nodes themselves.
+  void RollbackSubtree(const Publisher::SubtreeResult& st);
+
+  /// Reclaims the relational coding of garbage-collected parts: witness
+  /// rows of orphan edges, then gen rows of removed nodes (Fig.8's ∆'V).
+  Status ReclaimCollected(const MaintenanceDelta& delta);
+
   /// Propagates one already-applied base insertion / deletion into the
   /// view (core/propagate.cc).
   Status PropagateBaseInsert(const std::string& table, const Tuple& row);
@@ -128,6 +161,7 @@ class UpdateSystem {
   TopoOrder topo_;
   Reachability reach_;
   UpdateStats stats_;
+  PathEvalCache eval_cache_;
 };
 
 }  // namespace xvu

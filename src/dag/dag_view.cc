@@ -18,6 +18,7 @@ NodeId DagView::GetOrAddNode(const std::string& type, const Tuple& attr) {
   parents_.emplace_back();
   per_type.emplace(attr, id);
   ++live_nodes_;
+  ++version_;
   return id;
 }
 
@@ -33,6 +34,7 @@ bool DagView::AddEdge(NodeId parent, NodeId child) {
   children_[parent].push_back(child);
   parents_[child].push_back(parent);
   ++num_edges_;
+  ++version_;
   return true;
 }
 
@@ -52,6 +54,7 @@ Status DagView::RemoveEdge(NodeId parent, NodeId child) {
   auto& ps = parents_[child];
   ps.erase(std::find(ps.begin(), ps.end(), parent));
   --num_edges_;
+  ++version_;
   return Status::OK();
 }
 
@@ -64,6 +67,7 @@ Status DagView::RemoveNode(NodeId id) {
   dead_[id] = 1;
   gen_[nodes_[id].type].erase(nodes_[id].attr);
   --live_nodes_;
+  ++version_;
   return Status::OK();
 }
 

@@ -44,6 +44,11 @@ class DagView {
   NodeId root() const { return root_; }
   void SetRoot(NodeId r) { root_ = r; }
 
+  /// Monotone structural version: bumped by every node/edge mutation.
+  /// Memoized XPath evaluations (PathEvalCache) are keyed on it — two
+  /// evaluations at the same version see the same DAG.
+  uint64_t version() const { return version_; }
+
   /// Creates the node for (type, attr), or returns the existing one.
   NodeId GetOrAddNode(const std::string& type, const Tuple& attr);
 
@@ -120,6 +125,7 @@ class DagView {
   NodeId root_ = kInvalidNode;
   size_t num_edges_ = 0;
   size_t live_nodes_ = 0;
+  uint64_t version_ = 0;
 };
 
 }  // namespace xvu

@@ -188,4 +188,40 @@ Status MaintainDelete(DagView* dag, const std::vector<NodeId>& targets,
   return Status::OK();
 }
 
+Status MaintainBatch(DagView* dag, Reachability* m, TopoOrder* l,
+                     MaintenanceDelta* delta) {
+  // (1) Garbage collection: a node survives iff it is still reachable from
+  // the root. (Equivalent to the cascading no-live-parent criterion of
+  // Fig.8 — in a rooted DAG the two fixpoints coincide — but computed in
+  // one DFS instead of per-deletion cascades.)
+  std::vector<NodeId> reachable =
+      dag->root() == kInvalidNode
+          ? std::vector<NodeId>{}
+          : CollectDescOrSelf(*dag, {dag->root()});
+  std::unordered_set<NodeId> live(reachable.begin(), reachable.end());
+  std::vector<NodeId> doomed;
+  for (NodeId v : dag->LiveNodes()) {
+    if (live.count(v) == 0) doomed.push_back(v);
+  }
+  // Every incoming edge of a doomed node originates at a doomed node (a
+  // live parent would make it reachable), so removing all doomed nodes'
+  // outgoing edges clears every incident edge.
+  for (NodeId v : doomed) {
+    std::vector<NodeId> children = dag->children(v);
+    for (NodeId c : children) {
+      delta->orphan_edges.emplace_back(v, c);
+      XVU_RETURN_NOT_OK(dag->RemoveEdge(v, c));
+    }
+  }
+  for (NodeId v : doomed) {
+    XVU_RETURN_NOT_OK(dag->RemoveNode(v));
+    delta->removed_nodes.push_back(v);
+  }
+
+  // (2) One rebuild of L and M amortized over the whole batch.
+  XVU_ASSIGN_OR_RETURN(*l, TopoOrder::Compute(*dag));
+  *m = Reachability::Compute(*dag, *l);
+  return Status::OK();
+}
+
 }  // namespace xvu

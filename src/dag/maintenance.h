@@ -55,6 +55,22 @@ Status MaintainInsert(const DagView& dag, NodeId subtree_root,
 Status MaintainDelete(DagView* dag, const std::vector<NodeId>& targets,
                       Reachability* m, TopoOrder* l, MaintenanceDelta* delta);
 
+/// Batch-aware maintenance entry point: one pass for a whole UpdateBatch
+/// (the deferred, backgroundable phase of Fig.11c, amortized over N ops).
+///
+/// Precondition: all of the batch's DAG mutations (edge removals, subtree
+/// publications, connect edges) are already applied to `dag`; `m` and `l`
+/// are the stale pre-batch structures.
+///
+/// Garbage-collects every node no longer reachable from the root — their
+/// removed outgoing edges are reported as `orphan_edges` (∆'V, so the
+/// caller can reclaim witness rows) and the nodes as `removed_nodes` —
+/// then rebuilds L (Kahn) and M (Algorithm Reach, Fig.4) in one O(n·|V|)
+/// pass over the cleaned DAG. `m_inserted`/`m_deleted` are left empty:
+/// the rebuild replaces M wholesale instead of emitting per-pair deltas.
+Status MaintainBatch(DagView* dag, Reachability* m, TopoOrder* l,
+                     MaintenanceDelta* delta);
+
 /// desc-or-self of `roots` by DFS over the current DAG.
 std::vector<NodeId> CollectDescOrSelf(const DagView& dag,
                                       const std::vector<NodeId>& roots);

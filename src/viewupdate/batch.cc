@@ -1,0 +1,45 @@
+#include "src/viewupdate/batch.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+namespace xvu {
+
+Status CheckRelationalConflicts(const RelationalUpdate& dr,
+                                const Database& base) {
+  std::map<std::pair<std::string, Tuple>, TableOp::Kind> seen;
+  for (const TableOp& op : dr.ops) {
+    const Table* t = base.GetTable(op.table);
+    if (t == nullptr) return Status::NotFound("table " + op.table);
+    Tuple key = t->schema().KeyOf(op.row);
+    auto [it, inserted] = seen.emplace(
+        std::make_pair(op.table, std::move(key)), op.kind);
+    if (!inserted && it->second != op.kind) {
+      return Status::Rejected("intra-batch conflict: " + op.table +
+                              TupleToString(t->schema().KeyOf(op.row)) +
+                              " is both inserted and deleted by the "
+                              "consolidated ∆R");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ViewRowOp>> ConsolidateViewOps(
+    const std::vector<const std::vector<ViewRowOp>*>& per_op) {
+  std::vector<ViewRowOp> merged;
+  std::set<std::pair<std::string, Tuple>> seen;
+  for (const std::vector<ViewRowOp>* dv : per_op) {
+    for (const ViewRowOp& op : *dv) {
+      if (!seen.emplace(op.view_name, op.row).second) {
+        return Status::Rejected("intra-batch conflict: view row " +
+                                op.view_name + TupleToString(op.row) +
+                                " touched by two ops in the batch");
+      }
+      merged.push_back(op);
+    }
+  }
+  return merged;
+}
+
+}  // namespace xvu

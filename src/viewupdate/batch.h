@@ -1,0 +1,36 @@
+#ifndef XVU_VIEWUPDATE_BATCH_H_
+#define XVU_VIEWUPDATE_BATCH_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/relational/database.h"
+#include "src/viewupdate/delete.h"
+
+namespace xvu {
+
+/// Consolidation and conflict detection for batched group updates.
+///
+/// A batch is translated under *snapshot semantics*: every op's XPath is
+/// evaluated against the same pre-batch view, the per-op ∆V are merged,
+/// and one consolidated ∆R is derived. Snapshot semantics equals
+/// sequential semantics exactly when the ops are independent; the checks
+/// here reject (conservatively) the batches where they could diverge.
+
+/// Rejects a consolidated ∆R in which the same (table, key) is both
+/// inserted and deleted: under snapshot semantics the two ops disagree on
+/// the tuple's final presence, so no single application order is faithful
+/// to both.
+Status CheckRelationalConflicts(const RelationalUpdate& dr,
+                                const Database& base);
+
+/// Merges per-op ∆V fragments, rejecting duplicates: the same extended
+/// view row deleted (or inserted) by two different ops means their edge
+/// selections overlap, which sequential application would treat
+/// differently (the second op would no longer find the row).
+Result<std::vector<ViewRowOp>> ConsolidateViewOps(
+    const std::vector<const std::vector<ViewRowOp>*>& per_op);
+
+}  // namespace xvu
+
+#endif  // XVU_VIEWUPDATE_BATCH_H_

@@ -67,4 +67,6 @@ NormalPath Normalize(const Path& p) {
   return np;
 }
 
+std::string NormalFormKey(const Path& p) { return Normalize(p).ToString(); }
+
 }  // namespace xvu

@@ -30,6 +30,14 @@ struct NormalPath {
 ///   ε[q1]...[qn] ≡ ε[q1 ∧ ... ∧ qn]
 NormalPath Normalize(const Path& p);
 
+/// Canonical memoization key for `p`: the unparse of its normal form.
+/// Sound (equal keys evaluate identically on any view: the normal form
+/// fully determines the evaluator's behaviour) but not complete (e.g.
+/// p[q1][q2] and p[q2][q1] get distinct keys). Paired with
+/// DagView::version() it keys the shared-evaluation cache of the batched
+/// update pipeline.
+std::string NormalFormKey(const Path& p);
+
 }  // namespace xvu
 
 #endif  // XVU_XPATH_NORMAL_FORM_H_

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/pipeline.h"
+#include "src/core/system.h"
+#include "src/workload/registrar.h"
+#include "src/xpath/normal_form.h"
+#include "src/xpath/parser.h"
+
+namespace xvu {
+namespace {
+
+Value S(const char* s) { return Value::Str(s); }
+
+std::unique_ptr<UpdateSystem> MakeSystem(
+    UpdateSystem::Options options = UpdateSystem::Options()) {
+  auto db = MakeRegistrarDatabase();
+  EXPECT_TRUE(db.ok());
+  EXPECT_TRUE(LoadRegistrarSample(&*db).ok());
+  auto atg = MakeRegistrarAtg(*db);
+  EXPECT_TRUE(atg.ok());
+  auto sys = UpdateSystem::Create(std::move(*atg), std::move(*db), options);
+  EXPECT_TRUE(sys.ok()) << sys.status().ToString();
+  return std::move(*sys);
+}
+
+/// After an accepted batch: the incrementally maintained DAG must equal a
+/// republication from the updated base, and M/L must match recomputation.
+void ExpectConsistent(UpdateSystem& sys) {
+  auto fresh = sys.Republish();
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_EQ(sys.dag().CanonicalEdges(), fresh->CanonicalEdges())
+      << "batched view diverged from σ(∆R(I))";
+  EXPECT_TRUE(sys.topo().Check(sys.dag()).ok());
+  auto topo = TopoOrder::Compute(sys.dag());
+  ASSERT_TRUE(topo.ok());
+  EXPECT_TRUE(sys.reachability() == Reachability::Compute(sys.dag(), *topo));
+}
+
+/// Every base table of `a` holds exactly the rows of its peer in `b`.
+void ExpectSameDatabase(const Database& a, const Database& b) {
+  ASSERT_EQ(a.TableNames(), b.TableNames());
+  EXPECT_EQ(a.TotalRows(), b.TotalRows());
+  for (const std::string& name : a.TableNames()) {
+    const Table* ta = a.GetTable(name);
+    const Table* tb = b.GetTable(name);
+    ta->ForEach([&](const Tuple& row) {
+      const Tuple* found = tb->FindByKey(tb->schema().KeyOf(row));
+      ASSERT_NE(found, nullptr) << name << TupleToString(row);
+      EXPECT_EQ(*found, row) << name;
+    });
+  }
+}
+
+Path P(const std::string& xpath) {
+  auto p = ParseXPath(xpath);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return *p;
+}
+
+TEST(PathEvalCache, HitMissAndInvalidationAcrossVersions) {
+  PathEvalCache cache;
+  EvalResult r;
+  r.selected = {1, 2, 3};
+  EXPECT_EQ(cache.Lookup("//a", 7), nullptr);  // cold miss
+  cache.Store("//a", 7, r);
+  const EvalResult* hit = cache.Lookup("//a", 7);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->selected, r.selected);
+  // Same key at a newer DAG version: the stale entry is evicted.
+  EXPECT_EQ(cache.Lookup("//a", 8), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(Pipeline, NormalFormKeyIsSyntaxInsensitive) {
+  // ε-steps and filter splitting normalize away: both spellings share one
+  // cache slot.
+  EXPECT_EQ(NormalFormKey(P("//student[ssn=\"S01\"]")),
+            NormalFormKey(P(".///student[ssn=\"S01\"]")));
+  EXPECT_NE(NormalFormKey(P("//student[ssn=\"S01\"]")),
+            NormalFormKey(P("//student[ssn=\"S02\"]")));
+}
+
+TEST(Pipeline, EmptyBatchIsANoOp) {
+  auto sys = MakeSystem();
+  auto before = sys->dag().CanonicalEdges();
+  EXPECT_TRUE(sys->ApplyBatch(UpdateBatch()).ok());
+  EXPECT_EQ(sys->dag().CanonicalEdges(), before);
+}
+
+TEST(Pipeline, SharedPathEvaluatesOnceAndMaintainsOnce) {
+  auto sys = MakeSystem();
+  const size_t n = 8;
+  UpdateBatch batch;
+  for (size_t i = 0; i < n; ++i) {
+    std::string ssn = "S9" + std::to_string(i);
+    batch.Insert("student", {S(ssn.c_str()), S("Batch Student")},
+                 P("course[cno=\"CS650\"]/takenBy"));
+  }
+  Status st = sys->ApplyBatch(batch);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  const UpdateStats& us = sys->last_stats();
+  EXPECT_EQ(us.batch_ops, n);
+  EXPECT_EQ(us.distinct_paths, 1u);
+  EXPECT_EQ(us.xpath_evaluations, 1u);
+  EXPECT_EQ(us.xpath_cache_hits, n - 1);
+  EXPECT_EQ(us.maintenance_passes, 1u);
+  // All n students landed under CS650's takenBy.
+  auto q = sys->Query("course[cno=\"CS650\"]/takenBy/student");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->selected.size(), 1u + n);  // S01 + the batch
+  ExpectConsistent(*sys);
+}
+
+TEST(Pipeline, BatchedEqualsSequentialOnIndependentOps) {
+  auto batched = MakeSystem();
+  auto sequential = MakeSystem();
+
+  UpdateBatch batch;
+  batch.Insert("course", {S("CS100"), S("Intro")},
+               P("course[cno=\"CS240\"]/prereq"));
+  batch.Insert("student", {S("S07"), S("Grace Hopper")},
+               P("course[cno=\"CS650\"]/takenBy"));
+  batch.Delete(P("//student[ssn=\"S03\"]"));
+  Status st = batched->ApplyBatch(batch);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  ASSERT_TRUE(sequential
+                  ->ApplyInsert("course", {S("CS100"), S("Intro")},
+                                P("course[cno=\"CS240\"]/prereq"))
+                  .ok());
+  ASSERT_TRUE(sequential
+                  ->ApplyInsert("student", {S("S07"), S("Grace Hopper")},
+                                P("course[cno=\"CS650\"]/takenBy"))
+                  .ok());
+  ASSERT_TRUE(
+      sequential->ApplyDelete(P("//student[ssn=\"S03\"]")).ok());
+
+  EXPECT_EQ(batched->dag().CanonicalEdges(),
+            sequential->dag().CanonicalEdges());
+  ExpectSameDatabase(batched->database(), sequential->database());
+  ExpectConsistent(*batched);
+}
+
+TEST(Pipeline, MixedBatchDeletesAndInsertsAtomically) {
+  auto sys = MakeSystem();
+  UpdateBatch batch;
+  batch.Delete(P("//student[ssn=\"S02\"]"));
+  batch.Insert("student", {S("S08"), S("Ada")},
+               P("course[cno=\"CS240\"]/takenBy"));
+  Status st = sys->ApplyBatch(batch);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(sys->last_stats().maintenance_passes, 1u);
+  auto gone = sys->Query("//student[ssn=\"S02\"]");
+  ASSERT_TRUE(gone.ok());
+  EXPECT_TRUE(gone->selected.empty());
+  auto added = sys->Query("course[cno=\"CS240\"]/takenBy/student");
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(added->selected.size(), 1u);  // S02 replaced by S08
+  ExpectConsistent(*sys);
+}
+
+TEST(Pipeline, CacheMissesAcrossDagVersionsHitsWhenUnchanged) {
+  auto sys = MakeSystem();
+  UpdateBatch b1;
+  b1.Insert("student", {S("S07"), S("Grace")},
+            P("course[cno=\"CS650\"]/takenBy"));
+  ASSERT_TRUE(sys->ApplyBatch(b1).ok());
+  EXPECT_EQ(sys->last_stats().xpath_evaluations, 1u);
+
+  // Same path again: b1 mutated the DAG, so the cached node-set is stale
+  // and must be re-evaluated at the new version.
+  UpdateBatch b2;
+  b2.Insert("student", {S("S08"), S("Edsger")},
+            P("course[cno=\"CS650\"]/takenBy"));
+  ASSERT_TRUE(sys->ApplyBatch(b2).ok());
+  EXPECT_EQ(sys->last_stats().xpath_evaluations, 1u);
+  EXPECT_EQ(sys->last_stats().xpath_cache_hits, 0u);
+  EXPECT_GE(sys->eval_cache().stats().invalidations, 1u);
+
+  // A rejected batch leaves the DAG untouched; resubmitting reuses its
+  // cached evaluation.
+  UpdateBatch rejected;
+  rejected.Delete(P("//student[ssn=\"NOPE\"]"));
+  EXPECT_FALSE(sys->ApplyBatch(rejected).ok());
+  EXPECT_EQ(sys->last_stats().xpath_evaluations, 1u);
+  EXPECT_FALSE(sys->ApplyBatch(rejected).ok());
+  EXPECT_EQ(sys->last_stats().xpath_evaluations, 0u);
+  EXPECT_EQ(sys->last_stats().xpath_cache_hits, 1u);
+}
+
+TEST(Pipeline, RejectsDoubleDeleteOfSameEdge) {
+  auto sys = MakeSystem();
+  auto before = sys->dag().CanonicalEdges();
+  size_t rows_before = sys->database().TotalRows();
+  UpdateBatch batch;
+  batch.Delete(P("//student[ssn=\"S02\"]"));
+  batch.Delete(P("//student[ssn=\"S02\"]"));
+  Status st = sys->ApplyBatch(batch);
+  EXPECT_TRUE(st.IsRejected()) << st.ToString();
+  EXPECT_EQ(sys->dag().CanonicalEdges(), before);
+  EXPECT_EQ(sys->database().TotalRows(), rows_before);
+}
+
+TEST(Pipeline, RejectsInsertIntoDeletedSubtree) {
+  auto sys = MakeSystem();
+  auto before = sys->dag().CanonicalEdges();
+  UpdateBatch batch;
+  batch.Delete(P("course[cno=\"CS650\"]/prereq/course[cno=\"CS320\"]"));
+  batch.Insert("student", {S("S07"), S("Grace")},
+               P("//course[cno=\"CS320\"]/takenBy"));
+  Status st = sys->ApplyBatch(batch);
+  EXPECT_TRUE(st.IsRejected()) << st.ToString();
+  EXPECT_EQ(sys->dag().CanonicalEdges(), before);
+}
+
+TEST(Pipeline, RejectsDeleteInsideDeletedSubtree) {
+  auto sys = MakeSystem();
+  auto before = sys->dag().CanonicalEdges();
+  UpdateBatch batch;
+  batch.Delete(P("course[cno=\"CS650\"]/prereq/course[cno=\"CS320\"]"));
+  batch.Delete(P("course[cno=\"CS650\"]/prereq/course[cno=\"CS320\"]"
+                 "/prereq/course[cno=\"CS140\"]"));
+  Status st = sys->ApplyBatch(batch);
+  EXPECT_TRUE(st.IsRejected()) << st.ToString();
+  EXPECT_EQ(sys->dag().CanonicalEdges(), before);
+}
+
+TEST(Pipeline, RejectsDuplicateInsertRows) {
+  auto sys = MakeSystem();
+  auto before = sys->dag().CanonicalEdges();
+  size_t rows_before = sys->database().TotalRows();
+  UpdateBatch batch;
+  batch.Insert("student", {S("S07"), S("Grace")},
+               P("course[cno=\"CS650\"]/takenBy"));
+  batch.Insert("student", {S("S07"), S("Grace")},
+               P("course[cno=\"CS650\"]/takenBy"));
+  Status st = sys->ApplyBatch(batch);
+  EXPECT_TRUE(st.IsRejected()) << st.ToString();
+  EXPECT_EQ(sys->dag().CanonicalEdges(), before);
+  EXPECT_EQ(sys->database().TotalRows(), rows_before);
+}
+
+TEST(Pipeline, OneBadOpRejectsTheWholeBatch) {
+  auto sys = MakeSystem();
+  auto before = sys->dag().CanonicalEdges();
+  size_t rows_before = sys->database().TotalRows();
+  UpdateBatch batch;
+  batch.Insert("student", {S("S07"), S("Grace")},
+               P("course[cno=\"CS650\"]/takenBy"));
+  batch.Delete(P("//student[ssn=\"NOPE\"]"));  // selects nothing
+  Status st = sys->ApplyBatch(batch);
+  EXPECT_TRUE(st.IsRejected()) << st.ToString();
+  EXPECT_EQ(sys->dag().CanonicalEdges(), before);
+  EXPECT_EQ(sys->database().TotalRows(), rows_before);
+}
+
+TEST(Pipeline, TextualStatementsViaAdd) {
+  auto sys = MakeSystem();
+  UpdateBatch batch;
+  ASSERT_TRUE(batch
+                  .Add("insert student(S07, \"Grace Hopper\") into "
+                       "course[cno=\"CS650\"]/takenBy",
+                       sys->atg())
+                  .ok());
+  ASSERT_TRUE(batch.Add("delete //student[ssn=\"S03\"]", sys->atg()).ok());
+  Status st = sys->ApplyBatch(batch);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ExpectConsistent(*sys);
+}
+
+}  // namespace
+}  // namespace xvu
