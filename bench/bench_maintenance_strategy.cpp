@@ -1,0 +1,165 @@
+// Maintenance-strategy sweep: batch size N × view size |C|, incremental
+// journal merge vs full L/M rebuild, on identical insert batches applied
+// through ApplyBatch with the strategy forced via Options.
+//
+// Self-verifying: after every batch the two systems' views (canonical
+// edges), topological orders (bit-identical vectors) and reachability
+// matrices (full compare at the smallest size, |M| compare above) must
+// agree. For small batches (N <= 10) on big views (|C| >= 20000) the
+// incremental merge must beat the rebuild's maintenance time by at least
+// XVU_BENCH_STRATEGY_MIN_SPEEDUP (default 2; set 0 under ctest, where
+// shared runners make timing unreliable). The measured crossover point —
+// the smallest N where the merge stops winning — is reported per |C|.
+//
+// Emits BENCH_maintenance.json (override the path with XVU_BENCH_JSON)
+// with one row per (|C|, N) configuration.
+//
+// Knobs: XVU_BENCH_MAX_C (default 50000), XVU_BENCH_STRATEGY_MIN_SPEEDUP.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/pipeline.h"
+
+namespace xvu {
+namespace bench {
+namespace {
+
+struct Row {
+  size_t c = 0;
+  size_t n = 0;
+  double inc_maintain_s = 0;
+  double full_maintain_s = 0;
+  size_t journal_entries = 0;
+  double speedup = 0;
+};
+
+int Run() {
+  double min_speedup = 2.0;
+  if (const char* env = std::getenv("XVU_BENCH_STRATEGY_MIN_SPEEDUP")) {
+    min_speedup = std::atof(env);
+  }
+  const std::vector<size_t> batch_sizes = {1, 5, 10, 50, 200};
+  std::vector<Row> rows;
+  int failures = 0;
+  auto check = [&](bool ok, const std::string& what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+    if (!ok) ++failures;
+  };
+
+  for (size_t n : Sizes()) {
+    UpdateSystem::Options inc_options, full_options;
+    inc_options.maintenance = MaintenanceStrategy::kIncrementalMerge;
+    full_options.maintenance = MaintenanceStrategy::kFullRebuild;
+    UpdateSystem* inc = FreshSystemFor(n, 77, inc_options);
+    UpdateSystem* full = FreshSystemFor(n, 77, full_options);
+    auto parent = PassingParentCid(inc->database());
+    if (!parent.ok()) {
+      std::fprintf(stderr, "%s\n", parent.status().ToString().c_str());
+      return 1;
+    }
+    std::string path = "//C[cid=\"" + *parent + "\"]/sub";
+    std::printf("maintenance strategy sweep: |C|=%zu, path=%s\n", n,
+                path.c_str());
+
+    int64_t uid = 70000000;
+    size_t crossover = 0;  // smallest N where the merge stops winning
+    for (size_t batch_n : batch_sizes) {
+      UpdateBatch batch;
+      for (size_t i = 0; i < batch_n; ++i, ++uid) {
+        Status st = batch.Add("insert C(" + std::to_string(uid) + ", " +
+                                  std::to_string(uid % 100) + ") into " +
+                                  path,
+                              inc->atg());
+        if (!st.ok()) {
+          std::fprintf(stderr, "parse failed: %s\n", st.ToString().c_str());
+          return 1;
+        }
+      }
+      Status inc_st = inc->ApplyBatch(batch);
+      Status full_st = full->ApplyBatch(batch);
+      if (!inc_st.ok() || !full_st.ok()) {
+        std::fprintf(stderr, "batch failed: %s / %s\n",
+                     inc_st.ToString().c_str(), full_st.ToString().c_str());
+        return 1;
+      }
+      const UpdateStats& is = inc->last_stats();
+      const UpdateStats& fs = full->last_stats();
+
+      Row row;
+      row.c = n;
+      row.n = batch_n;
+      row.inc_maintain_s = is.maintain_seconds;
+      row.full_maintain_s = fs.maintain_seconds;
+      row.journal_entries = is.journal_entries_replayed;
+      row.speedup = is.maintain_seconds > 0
+                        ? fs.maintain_seconds / is.maintain_seconds
+                        : 0;
+      rows.push_back(row);
+      std::printf("  N=%4zu: incremental %8.3f ms (journal %zu), rebuild "
+                  "%8.3f ms, speedup %6.2fx\n",
+                  batch_n, row.inc_maintain_s * 1e3, row.journal_entries,
+                  row.full_maintain_s * 1e3, row.speedup);
+      if (row.speedup < 1.0 && crossover == 0) crossover = batch_n;
+
+      // Strategy bookkeeping + result equivalence.
+      check(is.maintenance_strategy == MaintenanceStrategy::kIncrementalMerge,
+            "forced incremental strategy ran (N=" + std::to_string(batch_n) +
+                ")");
+      check(fs.maintenance_strategy == MaintenanceStrategy::kFullRebuild,
+            "forced full-rebuild strategy ran (N=" + std::to_string(batch_n) +
+                ")");
+      check(inc->dag().CanonicalEdges() == full->dag().CanonicalEdges(),
+            "identical views (N=" + std::to_string(batch_n) + ")");
+      check(inc->topo().order() == full->topo().order(),
+            "bit-identical L (N=" + std::to_string(batch_n) + ")");
+      bool m_equal = n <= 1000
+                         ? inc->reachability() == full->reachability()
+                         : inc->reachability().size() ==
+                               full->reachability().size();
+      check(m_equal, "identical M (N=" + std::to_string(batch_n) + ")");
+      if (n >= 20000 && batch_n <= 10) {
+        check(row.speedup >= min_speedup,
+              "small-batch merge meets the speedup bar (N=" +
+                  std::to_string(batch_n) + ")");
+      }
+    }
+    if (crossover == 0) {
+      std::printf("  crossover: none up to N=%zu (merge always wins)\n",
+                  batch_sizes.back());
+    } else {
+      std::printf("  crossover: merge stops winning at N=%zu\n", crossover);
+    }
+  }
+
+  const char* json_path = std::getenv("XVU_BENCH_JSON");
+  if (json_path == nullptr) json_path = "BENCH_maintenance.json";
+  if (FILE* f = std::fopen(json_path, "w")) {
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "  {\"c\": %zu, \"n\": %zu, \"incremental_maintain_s\": "
+                   "%.6f, \"full_rebuild_maintain_s\": %.6f, "
+                   "\"journal_entries\": %zu, \"speedup\": %.3f}%s\n",
+                   r.c, r.n, r.inc_maintain_s, r.full_maintain_s,
+                   r.journal_entries, r.speedup,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows)\n", json_path, rows.size());
+  } else {
+    std::fprintf(stderr, "could not write %s\n", json_path);
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace xvu
+
+int main() { return xvu::bench::Run(); }

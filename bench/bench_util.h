@@ -64,18 +64,40 @@ inline UpdateSystem* SystemFor(size_t n) {
 
 /// Rebuilds the cached system for `n` from scratch (after destructive
 /// sweeps).
-inline UpdateSystem* FreshSystemFor(size_t n, uint64_t seed) {
+inline UpdateSystem* FreshSystemFor(size_t n, uint64_t seed,
+                                    UpdateSystem::Options options =
+                                        UpdateSystem::Options()) {
   SyntheticSpec spec = SpecFor(n);
   spec.seed = seed;
   auto db = MakeSyntheticDatabase(spec);
   if (!db.ok()) std::abort();
   auto atg = MakeSyntheticAtg(*db);
   if (!atg.ok()) std::abort();
-  auto sys = UpdateSystem::Create(std::move(*atg), std::move(*db));
+  auto sys = UpdateSystem::Create(std::move(*atg), std::move(*db), options);
   if (!sys.ok()) std::abort();
   static std::vector<std::unique_ptr<UpdateSystem>> keep_alive;
   keep_alive.push_back(std::move(*sys));
   return keep_alive.back().get();
+}
+
+/// A filter-passing C-node id, recovered from the workload generator's own
+/// sub-insertion statements ("insert C(...) into //C[cid=\"P\"]/sub") —
+/// the shared target path of the batched-pipeline benchmarks.
+inline Result<std::string> PassingParentCid(const Database& base) {
+  XVU_ASSIGN_OR_RETURN(std::vector<std::string> stmts,
+                       MakeInsertionWorkload(WorkloadClass::kW1, base, 32,
+                                             4242));
+  const std::string marker = "into //C[cid=\"";
+  for (const std::string& s : stmts) {
+    size_t at = s.find(marker);
+    if (at == std::string::npos || s.find("/sub") == std::string::npos) {
+      continue;
+    }
+    size_t from = at + marker.size();
+    size_t to = s.find('"', from);
+    if (to != std::string::npos) return s.substr(from, to - from);
+  }
+  return Status::NotFound("no sub-insertion statement in the workload");
 }
 
 }  // namespace bench

@@ -1,0 +1,283 @@
+#include "src/core/delta_eval.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "src/xpath/normal_form.h"
+
+namespace xvu {
+
+namespace {
+
+bool FilterIsMonotone(const FilterExpr& q);
+
+bool PathFiltersMonotone(const Path& p) {
+  for (const PathStep& s : p.steps) {
+    for (const FilterPtr& f : s.filters) {
+      if (!FilterIsMonotone(*f)) return false;
+    }
+  }
+  return true;
+}
+
+bool FilterIsMonotone(const FilterExpr& q) {
+  switch (q.kind()) {
+    case FilterExpr::Kind::kNot:
+      return false;
+    case FilterExpr::Kind::kAnd:
+    case FilterExpr::Kind::kOr:
+      return FilterIsMonotone(*q.lhs()) && FilterIsMonotone(*q.rhs());
+    case FilterExpr::Kind::kLabelEq:
+      return true;
+    case FilterExpr::Kind::kPath:
+    case FilterExpr::Kind::kPathEq:
+      return PathFiltersMonotone(q.path());
+  }
+  return false;
+}
+
+/// Exact per-node filter evaluation against the current DAG — val(q, v)
+/// restricted to the handful of nodes a patch touches, instead of the
+/// evaluator's whole-view bitmap pass. Memoized per filter across the
+/// nodes of one patch.
+class NodeFilterEval {
+ public:
+  NodeFilterEval(const DagView& dag, const Reachability& reach)
+      : dag_(dag), reach_(reach) {}
+
+  bool Eval(const FilterExpr& q, NodeId v) {
+    switch (q.kind()) {
+      case FilterExpr::Kind::kLabelEq:
+        return dag_.node(v).type == q.label();
+      case FilterExpr::Kind::kAnd:
+        return Eval(*q.lhs(), v) && Eval(*q.rhs(), v);
+      case FilterExpr::Kind::kOr:
+        return Eval(*q.lhs(), v) || Eval(*q.rhs(), v);
+      case FilterExpr::Kind::kNot:
+        return !Eval(*q.lhs(), v);
+      case FilterExpr::Kind::kPath:
+      case FilterExpr::Kind::kPathEq: {
+        PerFilter& pf = Cached(q);
+        const std::string* text =
+            q.kind() == FilterExpr::Kind::kPathEq ? &q.value() : nullptr;
+        return Match(&pf, 0, v, text);
+      }
+    }
+    return false;
+  }
+
+ private:
+  struct PerFilter {
+    NormalPath np;
+    /// (step, node) -> matched; keyed step * capacity + node.
+    std::unordered_map<uint64_t, bool> memo;
+  };
+
+  PerFilter& Cached(const FilterExpr& q) {
+    auto it = filters_.find(&q);
+    if (it == filters_.end()) {
+      it = filters_.emplace(&q, PerFilter{Normalize(q.path()), {}}).first;
+    }
+    return it->second;
+  }
+
+  /// exists-semantics of the suffix pf->np.steps[i..] from v, with the
+  /// optional string-value comparison at the end — the per-node analogue
+  /// of XPathEvaluator::EvalPathExists.
+  bool Match(PerFilter* pf, size_t i, NodeId v, const std::string* text_eq) {
+    if (i == pf->np.steps.size()) {
+      return text_eq == nullptr || dag_.TextOf(v) == *text_eq;
+    }
+    uint64_t key = static_cast<uint64_t>(i) * dag_.capacity() + v;
+    auto mit = pf->memo.find(key);
+    if (mit != pf->memo.end()) return mit->second;
+    const NormalStep& s = pf->np.steps[i];
+    bool r = false;
+    switch (s.kind) {
+      case NormalStep::Kind::kFilter:
+        r = Eval(*s.filter, v) && Match(pf, i + 1, v, text_eq);
+        break;
+      case NormalStep::Kind::kLabel:
+        for (NodeId c : dag_.children(v)) {
+          if (dag_.node(c).type == s.label && Match(pf, i + 1, c, text_eq)) {
+            r = true;
+            break;
+          }
+        }
+        break;
+      case NormalStep::Kind::kWildcard:
+        for (NodeId c : dag_.children(v)) {
+          if (Match(pf, i + 1, c, text_eq)) {
+            r = true;
+            break;
+          }
+        }
+        break;
+      case NormalStep::Kind::kDescOrSelf:
+        if (Match(pf, i + 1, v, text_eq)) {
+          r = true;
+        } else {
+          for (NodeId d : reach_.Descendants(v)) {
+            if (Match(pf, i + 1, d, text_eq)) {
+              r = true;
+              break;
+            }
+          }
+        }
+        break;
+    }
+    pf->memo.emplace(key, r);
+    return r;
+  }
+
+  const DagView& dag_;
+  const Reachability& reach_;
+  std::unordered_map<const FilterExpr*, PerFilter> filters_;
+};
+
+}  // namespace
+
+bool PathIsMonotone(const NormalPath& np) {
+  for (const NormalStep& s : np.steps) {
+    if (s.kind == NormalStep::Kind::kFilter && !FilterIsMonotone(*s.filter)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool TryPatchEval(const DagView& dag, const TopoOrder& topo,
+                  const Reachability& reach,
+                  const std::vector<DagDelta>& journal, CachedEval* entry) {
+  // Past this window size a fresh evaluation is competitive with the
+  // patch's per-entry work; don't bother.
+  constexpr size_t kMaxPatchWindow = 4096;
+  const size_t n = entry->np.steps.size();
+  if (journal.empty() || journal.size() > kMaxPatchWindow) return false;
+  if (entry->reached.size() != n + 1) return false;  // entry has no trace
+  for (const DagDelta& d : journal) {
+    if (d.kind != DagDelta::Kind::kNodeAdded &&
+        d.kind != DagDelta::Kind::kEdgeAdded) {
+      return false;  // removals / root moves are not monotone
+    }
+  }
+  if (!PathIsMonotone(entry->np)) return false;
+
+  std::vector<std::pair<NodeId, NodeId>> added_edges;
+  for (const DagDelta& d : journal) {
+    if (d.kind == DagDelta::Kind::kEdgeAdded) {
+      added_edges.emplace_back(d.parent, d.child);
+    }
+    // New nodes need no separate seeding: an isolated node is unreachable
+    // by every step (reached[0] is pinned to the root), and a connected
+    // one is covered by its edges below.
+  }
+
+  for (DenseNodeSet& s : entry->reached) s.EnsureCapacity(dag.capacity());
+
+  NodeFilterEval filter_eval(dag, reach);
+  std::deque<std::pair<size_t, NodeId>> work;
+  auto add = [&](size_t i, NodeId v) {
+    if (!entry->reached[i].Contains(v)) {
+      entry->reached[i].Add(v);
+      work.emplace_back(i, v);
+    }
+  };
+
+  // (1) Filter flips on existing frontier members. Downward filters read
+  // only a node's cone, so only ancestors-or-self of an added edge's
+  // parent endpoint can have changed value — and with additions only,
+  // strictly false → true.
+  bool has_filter_step = false;
+  for (const NormalStep& s : entry->np.steps) {
+    if (s.kind == NormalStep::Kind::kFilter) has_filter_step = true;
+  }
+  if (has_filter_step) {
+    std::unordered_set<NodeId> candidates;
+    for (const auto& [u, v] : added_edges) {
+      (void)v;
+      candidates.insert(u);
+      const auto& au = reach.Ancestors(u);
+      candidates.insert(au.begin(), au.end());
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const NormalStep& s = entry->np.steps[i];
+      if (s.kind != NormalStep::Kind::kFilter) continue;
+      for (NodeId x : candidates) {
+        if (entry->reached[i].Contains(x) &&
+            !entry->reached[i + 1].Contains(x) &&
+            filter_eval.Eval(*s.filter, x)) {
+          add(i + 1, x);
+        }
+      }
+    }
+  }
+
+  // (2) Transitions the added edges enable from already-present frontier
+  // members. (Edges from members that join *later* are replayed by the
+  // worklist, which walks current-DAG children.)
+  for (const auto& [u, v] : added_edges) {
+    for (size_t i = 0; i < n; ++i) {
+      const NormalStep& s = entry->np.steps[i];
+      switch (s.kind) {
+        case NormalStep::Kind::kFilter:
+          break;  // no movement; handled in (1)
+        case NormalStep::Kind::kLabel:
+          if (entry->reached[i].Contains(u) && dag.node(v).type == s.label) {
+            add(i + 1, v);
+          }
+          break;
+        case NormalStep::Kind::kWildcard:
+          if (entry->reached[i].Contains(u)) add(i + 1, v);
+          break;
+        case NormalStep::Kind::kDescOrSelf:
+          // The step's output is closed under descendants: the new edge
+          // extends the cone below u. (v's own cone closes via the
+          // worklist's defining-step rule.)
+          if (entry->reached[i + 1].Contains(u)) add(i + 1, v);
+          break;
+      }
+    }
+  }
+
+  // (3) Worklist closure: every node that joins a frontier replays its
+  // outgoing transitions against the current DAG and maintained M.
+  while (!work.empty()) {
+    auto [i, x] = work.front();
+    work.pop_front();
+    if (i > 0 &&
+        entry->np.steps[i - 1].kind == NormalStep::Kind::kDescOrSelf) {
+      // Defining step is //: close x's descendant cone into the frontier.
+      for (NodeId d : reach.Descendants(x)) add(i, d);
+    }
+    if (i == n) continue;
+    const NormalStep& s = entry->np.steps[i];
+    switch (s.kind) {
+      case NormalStep::Kind::kFilter:
+        if (filter_eval.Eval(*s.filter, x)) add(i + 1, x);
+        break;
+      case NormalStep::Kind::kLabel:
+        for (NodeId c : dag.children(x)) {
+          if (dag.node(c).type == s.label) add(i + 1, c);
+        }
+        break;
+      case NormalStep::Kind::kWildcard:
+        for (NodeId c : dag.children(x)) add(i + 1, c);
+        break;
+      case NormalStep::Kind::kDescOrSelf:
+        add(i + 1, x);
+        for (NodeId d : reach.Descendants(x)) add(i + 1, d);
+        break;
+    }
+  }
+
+  // (4) Re-derive the full result (pruning, side effects, Ep(r)) from the
+  // patched trace.
+  XPathEvaluator ev(&dag, &topo, &reach);
+  entry->result = ev.FinishFromTrace(entry->np, entry->reached);
+  return true;
+}
+
+}  // namespace xvu

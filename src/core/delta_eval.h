@@ -1,0 +1,54 @@
+#ifndef XVU_CORE_DELTA_EVAL_H_
+#define XVU_CORE_DELTA_EVAL_H_
+
+#include <vector>
+
+#include "src/core/evaluator.h"
+#include "src/dag/dag_view.h"
+#include "src/dag/journal.h"
+#include "src/dag/reachability.h"
+#include "src/dag/topo_order.h"
+
+namespace xvu {
+
+/// Delta maintenance of cached XPath evaluations — the paper's M/L
+/// maintenance idea applied to cached query results.
+///
+/// A CachedEval holds the forward trace reached[0..n] of a normal-form
+/// path at some DAG version. TryPatchEval brings it to the *current*
+/// version by replaying the ∆V journal window against the trace instead
+/// of re-evaluating:
+///
+///  - Addition-only windows over negation-free paths are monotone: new
+///    nodes and edges can only enlarge every reached[i], so a worklist
+///    closure over (step, node) pairs — label/wildcard transitions along
+///    added edges, descendant-axis cone extensions through the maintained
+///    M, and per-node filter re-checks on the ancestors-or-self of the
+///    added edges' parent endpoints (the only nodes whose subtrees, and
+///    hence downward-filter values, changed) — reconstructs the exact
+///    fixpoint of a fresh forward pass.
+///  - The backward phase (pruning, side effects, Ep(r)) is then re-derived
+///    from the patched trace via XPathEvaluator::FinishFromTrace.
+///
+/// Returns false without touching `entry` when the window is not
+/// patchable — it contains removals or a root change (non-monotone), the
+/// path contains negation, the entry carries no trace, or the window is
+/// too large for the patch to be worth it — and the caller must fall back
+/// to a fresh evaluation.
+///
+/// Preconditions: `topo`/`reach` are the maintained L and M of the
+/// *current* DAG (the engine maintains them before the next batch's
+/// lookups run), and `journal` is exactly JournalSince(the entry's
+/// version).
+bool TryPatchEval(const DagView& dag, const TopoOrder& topo,
+                  const Reachability& reach,
+                  const std::vector<DagDelta>& journal, CachedEval* entry);
+
+/// True iff the path's filters are negation-free (recursively, including
+/// filters nested inside filter paths) — the class whose evaluation is
+/// monotone under structural additions.
+bool PathIsMonotone(const NormalPath& np);
+
+}  // namespace xvu
+
+#endif  // XVU_CORE_DELTA_EVAL_H_

@@ -107,46 +107,29 @@ std::vector<uint8_t> XPathEvaluator::EvalPathExists(
   return next;
 }
 
-namespace {
-
-/// Node set as vector + dense membership mask.
-struct NodeSet {
-  std::vector<NodeId> items;
-  std::vector<uint8_t> mask;
-
-  explicit NodeSet(size_t cap) : mask(cap, 0) {}
-  bool Contains(NodeId v) const { return mask[v] != 0; }
-  void Add(NodeId v) {
-    if (!mask[v]) {
-      mask[v] = 1;
-      items.push_back(v);
-    }
-  }
-};
-
-}  // namespace
-
-Result<EvalResult> XPathEvaluator::Evaluate(const Path& p) const {
-  NormalPath np = Normalize(p);
+std::vector<DenseNodeSet> XPathEvaluator::ForwardPass(
+    const NormalPath& np, bool full_trace) const {
   size_t cap = dag_->capacity();
   size_t n = np.steps.size();
-  EvalResult out;
-  if (dag_->root() == kInvalidNode) return out;
-
-  // Forward pass: reached[i] = node set after step i (reached[0] = {root}).
-  std::vector<NodeSet> reached;
+  // reached[i] = node set after step i (reached[0] = {root}). For a full
+  // trace all n+1 sets are materialized even when the frontier dies out
+  // early — the trace is replayed by the delta-patcher, which may revive
+  // a dead frontier when new structure arrives.
+  std::vector<DenseNodeSet> reached;
   reached.reserve(n + 1);
   reached.emplace_back(cap);
-  reached[0].Add(dag_->root());
+  if (dag_->root() != kInvalidNode) reached[0].Add(dag_->root());
   for (size_t i = 0; i < n; ++i) {
     const NormalStep& s = np.steps[i];
-    const NodeSet& cur = reached[i];
-    NodeSet next(cap);
+    const DenseNodeSet& cur = reached[i];
+    DenseNodeSet next(cap);
     switch (s.kind) {
       case NormalStep::Kind::kFilter: {
-        std::vector<uint8_t> fv = EvalFilter(*s.filter);
-        for (NodeId v : cur.items) {
-          if (fv[v]) next.Add(v);
+        if (!cur.items.empty()) {
+          std::vector<uint8_t> fv = EvalFilter(*s.filter);
+          for (NodeId v : cur.items) {
+            if (fv[v]) next.Add(v);
+          }
         }
         break;
       }
@@ -170,16 +153,41 @@ Result<EvalResult> XPathEvaluator::Evaluate(const Path& p) const {
         break;
     }
     reached.push_back(std::move(next));
-    if (reached.back().items.empty()) {
-      return out;  // r[[p]] = ∅: no selection, no side effects
+    if (!full_trace && reached.back().items.empty()) {
+      break;  // r[[p]] = ∅ and no trace wanted: skip the dead suffix
     }
+  }
+  return reached;
+}
+
+Result<EvalResult> XPathEvaluator::Evaluate(const Path& p) const {
+  NormalPath np = Normalize(p);
+  std::vector<DenseNodeSet> reached = ForwardPass(np, /*full_trace=*/false);
+  return FinishFromTrace(np, reached);
+}
+
+Result<CachedEval> XPathEvaluator::EvaluateTraced(const Path& p) const {
+  CachedEval out;
+  out.np = Normalize(p);
+  out.reached = ForwardPass(out.np, /*full_trace=*/true);
+  out.result = FinishFromTrace(out.np, out.reached);
+  return out;
+}
+
+EvalResult XPathEvaluator::FinishFromTrace(
+    const NormalPath& np, const std::vector<DenseNodeSet>& reached) const {
+  size_t cap = dag_->capacity();
+  size_t n = np.steps.size();
+  EvalResult out;
+  if (reached.size() <= n || reached[n].items.empty()) {
+    return out;  // r[[p]] = ∅: no selection, no side effects
   }
 
   // Backward pruning: sel[i] ⊆ reached[i] keeps only nodes that lie on a
   // derivation of some finally selected node. Computing side effects on
   // the pruned sets avoids false positives from branches a later filter
   // discards.
-  std::vector<NodeSet> sel;
+  std::vector<DenseNodeSet> sel;
   sel.reserve(n + 1);
   for (size_t i = 0; i <= n; ++i) sel.emplace_back(cap);
   for (NodeId v : reached[n].items) sel[n].Add(v);
@@ -211,7 +219,7 @@ Result<EvalResult> XPathEvaluator::Evaluate(const Path& p) const {
   // Side effects: an edge into an on-path node that no selected
   // derivation uses witnesses a tree occurrence of the modified subtree
   // that p does not select (Section 3.2); its source goes into S.
-  NodeSet s_set(cap);
+  DenseNodeSet s_set(cap);
   for (size_t i = 1; i <= n; ++i) {
     const NormalStep& s = np.steps[i - 1];
     switch (s.kind) {
@@ -231,13 +239,13 @@ Result<EvalResult> XPathEvaluator::Evaluate(const Path& p) const {
         // the cone top with a parent outside the cone witness unselected
         // occurrences. The cone tops' own incoming edges belong to the
         // previous step.
-        NodeSet cone(cap);
+        DenseNodeSet cone(cap);
         for (NodeId u : sel[i - 1].items) {
           cone.Add(u);
           for (NodeId d : reach_->Descendants(u)) cone.Add(d);
         }
         // anc-or-self(sel[i]): the nodes actually on a descent path.
-        NodeSet between(cap);
+        DenseNodeSet between(cap);
         for (NodeId v : sel[i].items) {
           between.Add(v);
           for (NodeId a : reach_->Ancestors(v)) between.Add(a);

@@ -29,6 +29,37 @@ struct EvalResult {
   bool has_side_effects() const { return !side_effect_nodes.empty(); }
 };
 
+/// Node set as vector + dense membership mask (the evaluator's working
+/// representation, also persisted in cached evaluation traces).
+struct DenseNodeSet {
+  std::vector<NodeId> items;
+  std::vector<uint8_t> mask;
+
+  explicit DenseNodeSet(size_t cap = 0) : mask(cap, 0) {}
+  bool Contains(NodeId v) const { return v < mask.size() && mask[v] != 0; }
+  void Add(NodeId v) {
+    EnsureCapacity(static_cast<size_t>(v) + 1);
+    if (!mask[v]) {
+      mask[v] = 1;
+      items.push_back(v);
+    }
+  }
+  void EnsureCapacity(size_t cap) {
+    if (cap > mask.size()) mask.resize(cap, 0);
+  }
+};
+
+/// A full evaluation: the result plus the forward trace it was derived
+/// from. `reached[i]` is the node set after normalized step i
+/// (reached[0] = {root}); the trace is what the delta-patcher replays the
+/// ∆V journal against to bring a cached result forward across DAG
+/// versions without re-evaluating (core/delta_eval.h).
+struct CachedEval {
+  NormalPath np;
+  std::vector<DenseNodeSet> reached;
+  EvalResult result;
+};
+
 /// Two-pass XPath evaluator over a DAG stored as a DagView (Section 3.2):
 /// a bottom-up pass evaluates all filters by dynamic programming over the
 /// topological order L (computing val(q, v) and, for //-rooted path
@@ -46,11 +77,26 @@ class XPathEvaluator {
 
   Result<EvalResult> Evaluate(const Path& p) const;
 
+  /// Evaluate keeping the forward trace, for PathEvalCache entries that
+  /// the delta-patcher can later bring forward across DAG versions.
+  Result<CachedEval> EvaluateTraced(const Path& p) const;
+
+  /// The backward phase (derivation pruning, side-effect detection, Ep(r)
+  /// extraction) on an already-computed forward trace. Used by Evaluate
+  /// and by the delta-patcher after it has patched `reached`.
+  EvalResult FinishFromTrace(const NormalPath& np,
+                             const std::vector<DenseNodeSet>& reached) const;
+
   /// Bottom-up evaluation of a single filter: val(q, v) for every live
   /// node, indexed by NodeId. Exposed for tests.
   std::vector<uint8_t> EvalFilter(const FilterExpr& q) const;
 
  private:
+  /// The forward phase. With `full_trace` all n+1 sets are materialized
+  /// (padded with empties once the frontier dies out) so the trace can be
+  /// delta-patched later; without it the pass stops at a dead frontier.
+  std::vector<DenseNodeSet> ForwardPass(const NormalPath& np,
+                                        bool full_trace) const;
   /// exists-semantics of a relative (normalized) path from each node.
   /// When `text_eq` is non-null, the node reached must additionally have
   /// that string value (the p = "s" comparison).

@@ -1,11 +1,14 @@
 #include "src/core/pipeline.h"
 
+#include <algorithm>
 #include <chrono>
 #include <map>
 #include <set>
 #include <unordered_set>
 #include <utility>
+#include <vector>
 
+#include "src/core/delta_eval.h"
 #include "src/core/system.h"
 #include "src/core/translate.h"
 #include "src/dtd/validate.h"
@@ -52,25 +55,72 @@ const EvalResult* PathEvalCache::Lookup(const std::string& key,
     return nullptr;
   }
   ++stats_.hits;
-  return &it->second.result;
+  return &it->second.eval.result;
+}
+
+const EvalResult* PathEvalCache::LookupOrPatch(const std::string& key,
+                                               const DagView& dag,
+                                               const TopoOrder& topo,
+                                               const Reachability& reach,
+                                               Outcome* outcome) {
+  auto set_outcome = [&](Outcome o) {
+    if (outcome != nullptr) *outcome = o;
+  };
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    set_outcome(Outcome::kMiss);
+    return nullptr;
+  }
+  Entry& e = it->second;
+  if (e.version == dag.version()) {
+    ++stats_.hits;
+    set_outcome(Outcome::kHit);
+    return &e.eval.result;
+  }
+  if (dag.JournalCovers(e.version) &&
+      TryPatchEval(dag, topo, reach, dag.JournalSince(e.version), &e.eval)) {
+    e.version = dag.version();
+    ++stats_.delta_patches;
+    set_outcome(Outcome::kPatched);
+    return &e.eval.result;
+  }
+  entries_.erase(it);
+  ++stats_.invalidations;
+  ++stats_.misses;
+  ++stats_.fallback_evals;
+  set_outcome(Outcome::kFallback);
+  return nullptr;
+}
+
+const EvalResult* PathEvalCache::Store(std::string key, uint64_t dag_version,
+                                       CachedEval eval) {
+  Entry& e = entries_[std::move(key)];
+  e.version = dag_version;
+  e.eval = std::move(eval);
+  return &e.eval.result;
 }
 
 const EvalResult* PathEvalCache::Store(std::string key, uint64_t dag_version,
                                        EvalResult result) {
-  Entry& e = entries_[std::move(key)];
-  e.version = dag_version;
-  e.result = std::move(result);
-  return &e.result;
+  CachedEval eval;
+  eval.result = std::move(result);  // no trace: never patchable
+  return Store(std::move(key), dag_version, std::move(eval));
 }
 
-void PathEvalCache::EvictStale(uint64_t dag_version) {
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.version != dag_version) {
-      it = entries_.erase(it);
-      ++stats_.invalidations;
-    } else {
-      ++it;
-    }
+void PathEvalCache::Compact(size_t max_entries) {
+  if (entries_.size() <= max_entries) return;
+  std::vector<std::pair<uint64_t, const std::string*>> by_version;
+  by_version.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    by_version.emplace_back(entry.version, &key);
+  }
+  std::sort(by_version.begin(), by_version.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t excess = entries_.size() - max_entries;
+  for (size_t i = 0; i < excess; ++i) {
+    entries_.erase(*by_version[i].second);
+    ++stats_.invalidations;
   }
 }
 
@@ -114,22 +164,35 @@ Status UpdateSystem::ApplyBatch(const UpdateBatch& batch) {
 
   // ---- Phase 1: shared XPath evaluation. All ops see the same snapshot
   // (nothing is mutated until phase 4), so each distinct normal-form path
-  // is evaluated exactly once; repeats are guaranteed cache hits.
+  // is evaluated exactly once; repeats are guaranteed cache hits. Entries
+  // surviving from earlier batches are delta-patched against the ∆V
+  // journal instead of being invalidated; only unpatchable ones fall back
+  // to a fresh (traced) evaluation.
   auto t0 = Clock::now();
-  XPathEvaluator evaluator(&dag_, &topo_, &reach_);
+  XPathEvaluator evaluator(&dag_, &engine_.topo(), &engine_.reach());
   const uint64_t snapshot_version = dag_.version();
-  eval_cache_.EvictStale(snapshot_version);
+  eval_cache_.Compact();
   std::vector<const EvalResult*> evals(ops.size());
   std::set<std::string> distinct_keys;
   for (size_t i = 0; i < ops.size(); ++i) {
     std::string key = NormalFormKey(ops[i].path);
     distinct_keys.insert(key);
-    const EvalResult* ev = eval_cache_.Lookup(key, snapshot_version);
+    PathEvalCache::Outcome outcome = PathEvalCache::Outcome::kMiss;
+    const EvalResult* ev = eval_cache_.LookupOrPatch(
+        key, dag_, engine_.topo(), engine_.reach(), &outcome);
     if (ev != nullptr) {
-      ++stats_.xpath_cache_hits;
+      if (outcome == PathEvalCache::Outcome::kPatched) {
+        ++stats_.delta_patches;
+      } else {
+        ++stats_.xpath_cache_hits;
+      }
     } else {
+      if (outcome == PathEvalCache::Outcome::kFallback) {
+        ++stats_.fallback_evals;
+      }
       ++stats_.xpath_evaluations;
-      XVU_ASSIGN_OR_RETURN(EvalResult fresh, evaluator.Evaluate(ops[i].path));
+      XVU_ASSIGN_OR_RETURN(CachedEval fresh,
+                           evaluator.EvaluateTraced(ops[i].path));
       ev = eval_cache_.Store(std::move(key), snapshot_version,
                             std::move(fresh));
     }
@@ -369,13 +432,18 @@ Status UpdateSystem::ApplyBatch(const UpdateBatch& batch) {
   auto t2 = Clock::now();
   stats_.translate_seconds = Seconds(t1, t2);
 
-  // ---- Phase 5: one deferred maintenance pass for the whole batch.
-  MaintenanceDelta delta;
-  Status ms = MaintainBatch(&dag_, &reach_, &topo_, &delta);
+  // ---- Phase 5: one deferred maintenance pass for the whole batch. The
+  // engine consumes the ∆V journal the mutations above produced and picks
+  // incremental merge vs full rebuild per the cost model (or the forced
+  // strategy from Options).
+  MaintenanceEngine::BatchOptions maintain_options;
+  maintain_options.strategy = options_.maintenance;
+  MaintenanceEngine::BatchReport report;
+  Status ms = engine_.MaintainBatch(&dag_, maintain_options, &report);
   if (!ms.ok()) {
-    // Unreachable if the cycle guards above are correct. MaintainBatch may
-    // have garbage-collected parts the journal does not cover, so a
-    // journal rollback would be incoherent; the batch's ∆R is already
+    // Unreachable if the cycle guards above are correct. Maintenance may
+    // have garbage-collected parts the undo log does not cover, so an
+    // undo-based rollback would be incoherent; the batch's ∆R is already
     // durable, and a full resync from the base rebuilds every structure
     // consistently with it.
     Status resync = Initialize();
@@ -383,7 +451,9 @@ Status UpdateSystem::ApplyBatch(const UpdateBatch& batch) {
     return ms;
   }
   stats_.maintenance_passes = 1;
-  XVU_RETURN_NOT_OK(ReclaimCollected(delta));
+  stats_.maintenance_strategy = report.used;
+  stats_.journal_entries_replayed = report.journal_entries_replayed;
+  XVU_RETURN_NOT_OK(ReclaimCollected(report.delta));
   stats_.maintain_seconds = Seconds(t2, Clock::now());
   return Status::OK();
 }

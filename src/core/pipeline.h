@@ -42,33 +42,57 @@ class UpdateBatch {
 };
 
 /// Memoized XPath evaluation results, keyed on the path's normal-form key
-/// (NormalFormKey) plus the DagView version the evaluation ran against.
+/// (NormalFormKey), each tagged with the DagView version it is valid for.
 ///
 /// Within a batch no state is mutated between evaluations, so every
-/// repeated path is a guaranteed hit; across batches an entry survives
-/// exactly until the DAG changes (a stale entry is evicted on lookup).
-/// Delta-maintaining cached node-sets across versions instead of
-/// invalidating is future work (see ROADMAP).
+/// repeated path is a guaranteed hit. Across batches an entry is *delta
+/// maintained*: a lookup at a newer version replays the DAG's ∆V journal
+/// window against the entry's forward trace (core/delta_eval.h) and, when
+/// the window is patchable, brings the cached node-set forward without
+/// re-evaluating. Only when patching does not apply (removals in the
+/// window, negation in the path, journal window evicted) is the entry
+/// dropped and re-evaluated.
 class PathEvalCache {
  public:
+  /// Default bound on retained entries; each traced entry's masks are
+  /// O(|V| · |p|), so the cache is bounded by count, oldest version first.
+  static constexpr size_t kDefaultMaxEntries = 256;
+
   struct Stats {
     size_t hits = 0;
     size_t misses = 0;
-    size_t invalidations = 0;  ///< entries evicted for a stale DAG version
+    size_t invalidations = 0;   ///< stale/overflow entries dropped
+    size_t delta_patches = 0;   ///< entries journal-patched across versions
+    size_t fallback_evals = 0;  ///< stale entries that had to re-evaluate
   };
+
+  enum class Outcome { kHit, kPatched, kMiss, kFallback };
+
+  /// Returns the entry for `key` at the DAG's *current* version: an exact
+  /// hit, or a stale entry patched forward through JournalSince(entry
+  /// version). nullptr on miss (cold, or stale-and-unpatchable — the
+  /// `outcome` out-param distinguishes). `topo` and `reach` must be the
+  /// maintained L and M of the current DAG version.
+  const EvalResult* LookupOrPatch(const std::string& key, const DagView& dag,
+                                  const TopoOrder& topo,
+                                  const Reachability& reach,
+                                  Outcome* outcome = nullptr);
 
   /// Returns the entry for `key` at exactly `dag_version`, or nullptr.
   /// An entry at any other version is evicted (counted as invalidation).
   const EvalResult* Lookup(const std::string& key, uint64_t dag_version);
 
   /// Stores (replacing any entry for `key`) and returns the stored result.
+  /// The CachedEval overload retains the forward trace and is patchable
+  /// across versions; the plain EvalResult overload only ever hits at its
+  /// own version.
+  const EvalResult* Store(std::string key, uint64_t dag_version,
+                          CachedEval eval);
   const EvalResult* Store(std::string key, uint64_t dag_version,
                           EvalResult result);
 
-  /// Drops every entry not at `dag_version` (counted as invalidations).
-  /// Versions are monotone, so such entries can never hit again; calling
-  /// this per batch bounds the cache by the live version's distinct paths.
-  void EvictStale(uint64_t dag_version);
+  /// Drops oldest-version entries until at most `max_entries` remain.
+  void Compact(size_t max_entries = kDefaultMaxEntries);
 
   void Clear();
 
@@ -78,7 +102,7 @@ class PathEvalCache {
  private:
   struct Entry {
     uint64_t version = 0;
-    EvalResult result;
+    CachedEval eval;
   };
   std::unordered_map<std::string, Entry> entries_;
   Stats stats_;

@@ -66,7 +66,7 @@ Status UpdateSystem::PropagateBaseInsert(const std::string& table,
           }
           for (NodeId u : parents) {
             // Cycle guard: the subtree must not contain the parent.
-            if (u == st.root || reach_.IsAncestor(st.root, u)) {
+            if (u == st.root || engine_.reach().IsAncestor(st.root, u)) {
               return Status::Rejected(
                   "relational update makes the view cyclic");
             }
@@ -77,9 +77,9 @@ Status UpdateSystem::PropagateBaseInsert(const std::string& table,
                                            static_cast<int64_t>(st.root),
                                            wr.projected)));
             MaintenanceDelta delta;
-            XVU_RETURN_NOT_OK(MaintainInsert(dag_, st.root, st.new_nodes,
-                                             connected, &reach_, &topo_,
-                                             &delta));
+            XVU_RETURN_NOT_OK(engine_.MaintainInsert(dag_, st.root,
+                                                     st.new_nodes, connected,
+                                                     &delta));
             // The subtree's nodes are shared from now on.
             st.new_nodes.clear();
           }
@@ -129,8 +129,7 @@ Status UpdateSystem::PropagateBaseDelete(const std::string& table,
   }
   if (targets.empty()) return Status::OK();
   MaintenanceDelta delta;
-  XVU_RETURN_NOT_OK(
-      MaintainDelete(&dag_, targets, &reach_, &topo_, &delta));
+  XVU_RETURN_NOT_OK(engine_.MaintainDelete(&dag_, targets, &delta));
   for (const auto& [u, v] : delta.orphan_edges) {
     const EdgeViewInfo* info =
         store_.FindEdgeViewByTypes(dag_.node(u).type, dag_.node(v).type);

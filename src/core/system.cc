@@ -43,8 +43,7 @@ Status UpdateSystem::Initialize() {
   dag_ = DagView();
   Publisher pub(&atg_, &db_);
   XVU_ASSIGN_OR_RETURN(dag_, pub.PublishAll(&store_));
-  XVU_ASSIGN_OR_RETURN(topo_, TopoOrder::Compute(dag_));
-  reach_ = Reachability::Compute(dag_, topo_);
+  XVU_RETURN_NOT_OK(engine_.Rebuild(dag_));
   return Status::OK();
 }
 
@@ -54,7 +53,7 @@ Result<DagView> UpdateSystem::Republish() const {
 }
 
 Result<EvalResult> UpdateSystem::Query(const Path& p) const {
-  XPathEvaluator ev(&dag_, &topo_, &reach_);
+  XPathEvaluator ev(&dag_, &engine_.topo(), &engine_.reach());
   return ev.Evaluate(p);
 }
 
@@ -170,7 +169,7 @@ Status UpdateSystem::ApplyInsert(const std::string& elem_type,
 
   // Phase 1: XPath evaluation + side-effect detection.
   auto t0 = Clock::now();
-  XPathEvaluator evaluator(&dag_, &topo_, &reach_);
+  XPathEvaluator evaluator(&dag_, &engine_.topo(), &engine_.reach());
   XVU_ASSIGN_OR_RETURN(EvalResult ev, evaluator.Evaluate(p));
   auto t1 = Clock::now();
   stats_.xpath_seconds = Seconds(t0, t1);
@@ -192,7 +191,7 @@ Status UpdateSystem::ApplyInsert(const std::string& elem_type,
   NodeId existing_root = dag_.FindNode(elem_type, attr);
   if (existing_root != kInvalidNode) {
     for (NodeId u : ev.selected) {
-      if (u == existing_root || reach_.IsAncestor(existing_root, u)) {
+      if (u == existing_root || engine_.reach().IsAncestor(existing_root, u)) {
         return Status::Rejected(
             "inserting (" + elem_type +
             ", ...) here would make the view cyclic (the subtree already "
@@ -270,9 +269,10 @@ Status UpdateSystem::ApplyInsert(const std::string& elem_type,
 
   // Phase 3: maintenance of M and L (backgroundable per Section 3.4).
   MaintenanceDelta delta;
-  XVU_RETURN_NOT_OK(MaintainInsert(dag_, st.root, st.new_nodes, connected,
-                                   &reach_, &topo_, &delta));
+  XVU_RETURN_NOT_OK(
+      engine_.MaintainInsert(dag_, st.root, st.new_nodes, connected, &delta));
   stats_.maintenance_passes = 1;
+  stats_.maintenance_strategy = MaintenanceStrategy::kIncrementalMerge;
   stats_.maintain_seconds = Seconds(t2, Clock::now());
   return Status::OK();
 }
@@ -285,7 +285,7 @@ Status UpdateSystem::ApplyDelete(const Path& p) {
   XVU_RETURN_NOT_OK(ValidateDelete(atg_.dtd(), p));
 
   auto t0 = Clock::now();
-  XPathEvaluator evaluator(&dag_, &topo_, &reach_);
+  XPathEvaluator evaluator(&dag_, &engine_.topo(), &engine_.reach());
   XVU_ASSIGN_OR_RETURN(EvalResult ev, evaluator.Evaluate(p));
   auto t1 = Clock::now();
   stats_.xpath_seconds = Seconds(t0, t1);
@@ -349,10 +349,10 @@ Status UpdateSystem::ApplyDelete(const Path& p) {
 
   // Maintenance + garbage collection (Fig.8).
   MaintenanceDelta delta;
-  XVU_RETURN_NOT_OK(
-      MaintainDelete(&dag_, ev.selected, &reach_, &topo_, &delta));
+  XVU_RETURN_NOT_OK(engine_.MaintainDelete(&dag_, ev.selected, &delta));
   XVU_RETURN_NOT_OK(ReclaimCollected(delta));
   stats_.maintenance_passes = 1;
+  stats_.maintenance_strategy = MaintenanceStrategy::kIncrementalMerge;
   stats_.maintain_seconds = Seconds(t2, Clock::now());
   return Status::OK();
 }

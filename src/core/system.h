@@ -11,6 +11,7 @@
 #include "src/core/pipeline.h"
 #include "src/core/update.h"
 #include "src/dag/maintenance.h"
+#include "src/dag/maintenance_engine.h"
 #include "src/dag/reachability.h"
 #include "src/dag/topo_order.h"
 #include "src/viewupdate/insert.h"
@@ -48,6 +49,18 @@ struct UpdateStats {
   size_t xpath_cache_hits = 0;   ///< evaluations served from PathEvalCache
   size_t maintenance_passes = 0;
 
+  /// Journal/engine counters. `maintenance_strategy` is what actually ran
+  /// (per-op paths report kIncrementalMerge: Fig.7/8 are incremental by
+  /// construction); `journal_entries_replayed` is the ∆V window length the
+  /// batch merge consumed. `delta_patches` counts cached XPath node-sets
+  /// brought forward across DAG versions by journal patching, and
+  /// `fallback_evals` the stale entries where patching was not applicable
+  /// and a fresh evaluation ran instead.
+  MaintenanceStrategy maintenance_strategy = MaintenanceStrategy::kAuto;
+  size_t journal_entries_replayed = 0;
+  size_t delta_patches = 0;
+  size_t fallback_evals = 0;
+
   double total_seconds() const {
     return xpath_seconds + translate_seconds + maintain_seconds;
   }
@@ -71,6 +84,10 @@ class UpdateSystem {
     /// Use the minimal-deletion solver instead of Algorithm delete's
     /// arbitrary pick (Section 4.2 "Minimal Deletions").
     bool minimal_deletions = false;
+    /// Batch maintenance strategy: kAuto picks incremental-merge vs full
+    /// rebuild per batch by the |journal| vs |V| cost model; the explicit
+    /// values force one path (benchmarks, tests).
+    MaintenanceStrategy maintenance = MaintenanceStrategy::kAuto;
   };
 
   /// Publishes σ(db) and builds all auxiliary structures.
@@ -116,8 +133,11 @@ class UpdateSystem {
   const Database& database() const { return db_; }
   const DagView& dag() const { return dag_; }
   const ViewStore& store() const { return store_; }
-  const TopoOrder& topo() const { return topo_; }
-  const Reachability& reachability() const { return reach_; }
+  const TopoOrder& topo() const { return engine_.topo(); }
+  const Reachability& reachability() const { return engine_.reach(); }
+  /// The maintenance engine owning M and L (strategy selection, journal
+  /// cursor).
+  const MaintenanceEngine& maintenance_engine() const { return engine_; }
   const Atg& atg() const { return atg_; }
 
   /// Statistics of the most recent (accepted or rejected) update.
@@ -158,8 +178,7 @@ class UpdateSystem {
   Options options_;
   ViewStore store_;
   DagView dag_;
-  TopoOrder topo_;
-  Reachability reach_;
+  MaintenanceEngine engine_;
   UpdateStats stats_;
   PathEvalCache eval_cache_;
 };

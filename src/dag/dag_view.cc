@@ -7,6 +7,17 @@
 
 namespace xvu {
 
+void DagView::SetRoot(NodeId r) {
+  if (root_ == r) return;
+  root_ = r;
+  ++version_;
+  DagDelta d;
+  d.kind = DagDelta::Kind::kRootChanged;
+  d.node = r;
+  d.version = version_;
+  journal_.Append(d);
+}
+
 NodeId DagView::GetOrAddNode(const std::string& type, const Tuple& attr) {
   auto& per_type = gen_[type];
   auto it = per_type.find(attr);
@@ -19,6 +30,11 @@ NodeId DagView::GetOrAddNode(const std::string& type, const Tuple& attr) {
   per_type.emplace(attr, id);
   ++live_nodes_;
   ++version_;
+  DagDelta d;
+  d.kind = DagDelta::Kind::kNodeAdded;
+  d.node = id;
+  d.version = version_;
+  journal_.Append(d);
   return id;
 }
 
@@ -35,6 +51,12 @@ bool DagView::AddEdge(NodeId parent, NodeId child) {
   parents_[child].push_back(parent);
   ++num_edges_;
   ++version_;
+  DagDelta d;
+  d.kind = DagDelta::Kind::kEdgeAdded;
+  d.parent = parent;
+  d.child = child;
+  d.version = version_;
+  journal_.Append(d);
   return true;
 }
 
@@ -51,10 +73,20 @@ Status DagView::RemoveEdge(NodeId parent, NodeId child) {
                             std::to_string(child) + ") not in DAG");
   }
   cs.erase(it);
+  // Parents are unordered (see the header contract), so the linear find
+  // can finish with an O(1) swap-erase instead of shifting the tail.
   auto& ps = parents_[child];
-  ps.erase(std::find(ps.begin(), ps.end(), parent));
+  auto pit = std::find(ps.begin(), ps.end(), parent);
+  *pit = ps.back();
+  ps.pop_back();
   --num_edges_;
   ++version_;
+  DagDelta d;
+  d.kind = DagDelta::Kind::kEdgeRemoved;
+  d.parent = parent;
+  d.child = child;
+  d.version = version_;
+  journal_.Append(d);
   return Status::OK();
 }
 
@@ -68,6 +100,11 @@ Status DagView::RemoveNode(NodeId id) {
   gen_[nodes_[id].type].erase(nodes_[id].attr);
   --live_nodes_;
   ++version_;
+  DagDelta d;
+  d.kind = DagDelta::Kind::kNodeRemoved;
+  d.node = id;
+  d.version = version_;
+  journal_.Append(d);
   return Status::OK();
 }
 

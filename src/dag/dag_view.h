@@ -10,10 +10,10 @@
 
 #include "src/common/status.h"
 #include "src/common/value.h"
+#include "src/dag/journal.h"
 
 namespace xvu {
 
-using NodeId = uint32_t;
 inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
 
 /// The DAG compression of an XML view (Section 2.3).
@@ -42,12 +42,31 @@ class DagView {
   void MarkTextNode(NodeId id) { nodes_[id].is_text = true; }
 
   NodeId root() const { return root_; }
-  void SetRoot(NodeId r) { root_ = r; }
+  void SetRoot(NodeId r);
 
   /// Monotone structural version: bumped by every node/edge mutation.
   /// Memoized XPath evaluations (PathEvalCache) are keyed on it — two
   /// evaluations at the same version see the same DAG.
   uint64_t version() const { return version_; }
+
+  /// The ∆V change journal: every structural mutation is recorded as a
+  /// DagDelta tagged with the version it produced. Downstream layers
+  /// (MaintenanceEngine, PathEvalCache) replay it instead of re-deriving
+  /// their state from the whole view.
+  ///
+  /// JournalSince(v) returns the mutations that took the DAG from version
+  /// v to version(); callers must check JournalCovers(v) first — the
+  /// journal is bounded, and a cursor older than its retention window must
+  /// fall back to full recomputation.
+  bool JournalCovers(uint64_t since) const {
+    return journal_.Covers(since);
+  }
+  std::vector<DagDelta> JournalSince(uint64_t since) const {
+    return journal_.Since(since);
+  }
+  size_t JournalCountSince(uint64_t since) const {
+    return journal_.CountSince(since);
+  }
 
   /// Creates the node for (type, attr), or returns the existing one.
   NodeId GetOrAddNode(const std::string& type, const Tuple& attr);
@@ -126,6 +145,7 @@ class DagView {
   size_t num_edges_ = 0;
   size_t live_nodes_ = 0;
   uint64_t version_ = 0;
+  DagJournal journal_;
 };
 
 }  // namespace xvu

@@ -1,0 +1,61 @@
+#include "src/dag/journal.h"
+
+#include <algorithm>
+
+namespace xvu {
+
+std::string DagDelta::ToString() const {
+  switch (kind) {
+    case Kind::kNodeAdded:
+      return "v" + std::to_string(version) + " +node " +
+             std::to_string(node);
+    case Kind::kNodeRemoved:
+      return "v" + std::to_string(version) + " -node " +
+             std::to_string(node);
+    case Kind::kEdgeAdded:
+      return "v" + std::to_string(version) + " +edge (" +
+             std::to_string(parent) + "," + std::to_string(child) + ")";
+    case Kind::kEdgeRemoved:
+      return "v" + std::to_string(version) + " -edge (" +
+             std::to_string(parent) + "," + std::to_string(child) + ")";
+    case Kind::kRootChanged:
+      return "v" + std::to_string(version) + " root -> " +
+             std::to_string(node);
+  }
+  return "?";
+}
+
+void DagJournal::Append(DagDelta delta) {
+  entries_.push_back(delta);
+  if (entries_.size() > capacity_) entries_.pop_front();
+}
+
+bool DagJournal::Covers(uint64_t since) const {
+  if (entries_.empty()) {
+    // Nothing retained: only the no-op window (since == current version)
+    // is replayable, and the DagView-level wrapper handles that case by
+    // never asking for entries it did not record. With no entries there
+    // were either no mutations at all (covered) or everything was evicted
+    // (not covered); the former only happens on a fresh DAG at version 0.
+    return true;
+  }
+  return entries_.front().version <= since + 1;
+}
+
+std::vector<DagDelta> DagJournal::Since(uint64_t since) const {
+  std::vector<DagDelta> out;
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), since,
+      [](uint64_t v, const DagDelta& d) { return v < d.version; });
+  out.assign(it, entries_.end());
+  return out;
+}
+
+size_t DagJournal::CountSince(uint64_t since) const {
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), since,
+      [](uint64_t v, const DagDelta& d) { return v < d.version; });
+  return static_cast<size_t>(entries_.end() - it);
+}
+
+}  // namespace xvu

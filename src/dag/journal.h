@@ -1,0 +1,77 @@
+#ifndef XVU_DAG_JOURNAL_H_
+#define XVU_DAG_JOURNAL_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace xvu {
+
+using NodeId = uint32_t;
+
+/// One structural mutation of the DAG view — the unit of ∆V the
+/// maintenance and caching layers replay. Every DagView mutation bumps the
+/// structural version by exactly one and appends exactly one entry, so the
+/// journal's versions are consecutive and `version` uniquely names the
+/// mutation that produced it.
+struct DagDelta {
+  enum class Kind {
+    kNodeAdded,    ///< a fresh node was allocated (no incident edges yet)
+    kNodeRemoved,  ///< a node was tombstoned (its edges were already gone)
+    kEdgeAdded,    ///< edge (parent, child) appended
+    kEdgeRemoved,  ///< edge (parent, child) dropped
+    kRootChanged,  ///< the view root moved (initial publish only)
+  };
+
+  Kind kind = Kind::kNodeAdded;
+  /// kNodeAdded/kNodeRemoved: the node. kRootChanged: the new root.
+  NodeId node = 0;
+  /// kEdgeAdded/kEdgeRemoved endpoints.
+  NodeId parent = 0;
+  NodeId child = 0;
+  /// DagView::version() immediately after this mutation.
+  uint64_t version = 0;
+
+  std::string ToString() const;
+};
+
+/// Bounded log of DagDelta entries, ordered by version.
+///
+/// The journal retains at most `capacity` entries (oldest evicted first),
+/// so consumers must check Covers(since) before replaying: a cursor that
+/// fell behind the retained window gets `false` and must fall back to a
+/// full recomputation instead of an incremental replay.
+class DagJournal {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  explicit DagJournal(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  void Append(DagDelta delta);
+
+  /// True iff every mutation with version > `since` is still retained
+  /// (equivalently: replaying Since(since) reproduces the DAG's current
+  /// structure from its structure at version `since`).
+  bool Covers(uint64_t since) const;
+
+  /// All retained entries with version > `since`, oldest first. Callers
+  /// must have checked Covers(since); entries older than the retention
+  /// window are silently absent otherwise.
+  std::vector<DagDelta> Since(uint64_t since) const;
+
+  /// Number of retained entries with version > `since` (0 if not covered).
+  size_t CountSince(uint64_t since) const;
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  size_t capacity_;
+  std::deque<DagDelta> entries_;
+};
+
+}  // namespace xvu
+
+#endif  // XVU_DAG_JOURNAL_H_

@@ -55,8 +55,11 @@ Status MaintainInsert(const DagView& dag, NodeId subtree_root,
 Status MaintainDelete(DagView* dag, const std::vector<NodeId>& targets,
                       Reachability* m, TopoOrder* l, MaintenanceDelta* delta);
 
-/// Batch-aware maintenance entry point: one pass for a whole UpdateBatch
+/// Batch-aware full-rebuild maintenance: one pass for a whole UpdateBatch
 /// (the deferred, backgroundable phase of Fig.11c, amortized over N ops).
+/// This is the kFullRebuild primitive of MaintenanceEngine
+/// (maintenance_engine.h), which owns M and L and chooses per batch
+/// between this wholesale path and the incremental ∆V-journal merge.
 ///
 /// Precondition: all of the batch's DAG mutations (edge removals, subtree
 /// publications, connect edges) are already applied to `dag`; `m` and `l`

@@ -1,0 +1,314 @@
+#include "src/dag/maintenance_engine.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace xvu {
+
+const char* MaintenanceStrategyName(MaintenanceStrategy s) {
+  switch (s) {
+    case MaintenanceStrategy::kAuto:
+      return "auto";
+    case MaintenanceStrategy::kIncrementalMerge:
+      return "incremental-merge";
+    case MaintenanceStrategy::kFullRebuild:
+      return "full-rebuild";
+  }
+  return "?";
+}
+
+Status MaintenanceEngine::Rebuild(const DagView& dag) {
+  XVU_ASSIGN_OR_RETURN(topo_, TopoOrder::Compute(dag));
+  reach_ = Reachability::Compute(dag, topo_);
+  maintained_version_ = dag.version();
+  return Status::OK();
+}
+
+Status MaintenanceEngine::MaintainInsert(const DagView& dag,
+                                         NodeId subtree_root,
+                                         const std::vector<NodeId>& new_nodes,
+                                         const std::vector<NodeId>& targets,
+                                         MaintenanceDelta* delta) {
+  XVU_RETURN_NOT_OK(xvu::MaintainInsert(dag, subtree_root, new_nodes,
+                                        targets, &reach_, &topo_, delta));
+  maintained_version_ = dag.version();
+  return Status::OK();
+}
+
+Status MaintenanceEngine::MaintainDelete(DagView* dag,
+                                         const std::vector<NodeId>& targets,
+                                         MaintenanceDelta* delta) {
+  XVU_RETURN_NOT_OK(
+      xvu::MaintainDelete(dag, targets, &reach_, &topo_, delta));
+  maintained_version_ = dag->version();
+  return Status::OK();
+}
+
+namespace {
+
+/// Ancestors-first topological order of the subgraph induced by `nodes`:
+/// every in-set parent precedes its in-set children, so the Fig.4
+/// recurrence (a node's ancestor set from its parents') can be replayed
+/// over the set with all out-of-set parents already final.
+Result<std::vector<NodeId>> InducedTopoAncestorsFirst(
+    const DagView& dag, const std::vector<NodeId>& nodes) {
+  std::unordered_set<NodeId> in(nodes.begin(), nodes.end());
+  std::unordered_map<NodeId, size_t> indeg;
+  indeg.reserve(nodes.size());
+  for (NodeId v : nodes) {
+    size_t d = 0;
+    for (NodeId p : dag.parents(v)) {
+      if (in.count(p) > 0) ++d;
+    }
+    indeg[v] = d;
+  }
+  std::deque<NodeId> q;
+  for (NodeId v : nodes) {
+    if (indeg[v] == 0) q.push_back(v);
+  }
+  std::vector<NodeId> order;
+  order.reserve(nodes.size());
+  while (!q.empty()) {
+    NodeId v = q.front();
+    q.pop_front();
+    order.push_back(v);
+    for (NodeId c : dag.children(v)) {
+      auto it = indeg.find(c);
+      if (it != indeg.end() && --it->second == 0) q.push_back(c);
+    }
+  }
+  if (order.size() != nodes.size()) {
+    return Status::Internal("affected region contains a cycle");
+  }
+  return order;
+}
+
+}  // namespace
+
+Status MaintenanceEngine::IncrementalMerge(
+    DagView* dag, const std::vector<DagDelta>& journal,
+    MaintenanceDelta* delta) {
+  if (dag->root() == kInvalidNode) {
+    return Status::Internal("incremental merge on a rootless DAG");
+  }
+
+  // (1) Consolidate the window into its net structural effect. M and L are
+  // functions of the final graph, so an edge added and removed inside the
+  // window (or vice versa) cancels outright; same for nodes (a tombstoned
+  // id is never reused, so kNodeAdded ids are always fresh).
+  std::set<std::pair<NodeId, NodeId>> net_added, net_removed;
+  std::unordered_set<NodeId> fresh_nodes, stale_nodes;
+  for (const DagDelta& d : journal) {
+    switch (d.kind) {
+      case DagDelta::Kind::kNodeAdded:
+        fresh_nodes.insert(d.node);
+        break;
+      case DagDelta::Kind::kNodeRemoved:
+        // A node created and tombstoned inside the window never entered
+        // M or L: nothing to clear.
+        if (fresh_nodes.erase(d.node) == 0) stale_nodes.insert(d.node);
+        break;
+      case DagDelta::Kind::kEdgeAdded: {
+        auto e = std::make_pair(d.parent, d.child);
+        if (net_removed.erase(e) == 0) net_added.insert(e);
+        break;
+      }
+      case DagDelta::Kind::kEdgeRemoved: {
+        auto e = std::make_pair(d.parent, d.child);
+        if (net_added.erase(e) == 0) net_removed.insert(e);
+        break;
+      }
+      case DagDelta::Kind::kRootChanged:
+        // Only the initial publish moves the root; Rebuild() covers it.
+        return Status::Internal("root change is not incrementally mergeable");
+    }
+  }
+
+  // (2) Garbage collection, same criterion as the full path: a node
+  // survives iff it is reachable from the root. The removals are applied
+  // through the DagView (journaling them for any other journal consumer)
+  // and folded into the net effect.
+  std::vector<NodeId> doomed;
+  if (!net_removed.empty() || !stale_nodes.empty()) {
+    // Pre-existing structure was removed: anything may have come loose;
+    // sweep from the root.
+    std::vector<NodeId> reachable = CollectDescOrSelf(*dag, {dag->root()});
+    std::unordered_set<NodeId> live(reachable.begin(), reachable.end());
+    for (NodeId v : dag->LiveNodes()) {
+      if (live.count(v) == 0) doomed.push_back(v);
+    }
+  } else if (!fresh_nodes.empty()) {
+    // No pre-existing edge or node was (net-)removed, so every old node
+    // is exactly as reachable as before and only this window's fresh
+    // nodes can be garbage (e.g. published but never connected, or whose
+    // connect edge was added and removed inside the window — net-zero
+    // for the edge, not for the node). A fresh node lives iff a path
+    // from an anchored fresh node (one with an old parent) reaches it;
+    // this keeps the common insert-only batch free of the O(|V|) sweep.
+    std::deque<NodeId> q;
+    std::unordered_set<NodeId> alive;
+    for (NodeId v : fresh_nodes) {
+      bool anchored = false;
+      for (NodeId p : dag->parents(v)) {
+        if (fresh_nodes.count(p) == 0) {
+          anchored = true;
+          break;
+        }
+      }
+      if (anchored && alive.insert(v).second) q.push_back(v);
+    }
+    while (!q.empty()) {
+      NodeId v = q.front();
+      q.pop_front();
+      for (NodeId c : dag->children(v)) {
+        if (fresh_nodes.count(c) > 0 && alive.insert(c).second) {
+          q.push_back(c);
+        }
+      }
+    }
+    for (NodeId v : fresh_nodes) {
+      if (alive.count(v) == 0) doomed.push_back(v);
+    }
+  }
+  for (NodeId v : doomed) {
+    std::vector<NodeId> children = dag->children(v);
+    for (NodeId c : children) {
+      delta->orphan_edges.emplace_back(v, c);
+      XVU_RETURN_NOT_OK(dag->RemoveEdge(v, c));
+      auto e = std::make_pair(v, c);
+      if (net_added.erase(e) == 0) net_removed.insert(e);
+    }
+  }
+  for (NodeId v : doomed) {
+    XVU_RETURN_NOT_OK(dag->RemoveNode(v));
+    delta->removed_nodes.push_back(v);
+    if (fresh_nodes.erase(v) == 0) stale_nodes.insert(v);
+  }
+
+  // (3) Affected region: a live node's ancestor set can have changed only
+  // if it is a new-DAG descendant-or-self of a changed edge's child
+  // endpoint or of a new node — any gained ancestor arrives through an
+  // added edge whose child-side suffix path survives, and any lost
+  // ancestor left through a removed edge whose child-side suffix path
+  // survives (a suffix edge that is itself gone re-seeds at its own child).
+  std::vector<NodeId> seeds;
+  std::unordered_set<NodeId> seed_set;
+  auto add_seed = [&](NodeId v) {
+    if (dag->alive(v) && seed_set.insert(v).second) seeds.push_back(v);
+  };
+  for (const auto& e : net_added) add_seed(e.second);
+  for (const auto& e : net_removed) add_seed(e.second);
+  for (NodeId v : fresh_nodes) add_seed(v);
+  std::vector<NodeId> affected = CollectDescOrSelf(*dag, seeds);
+  XVU_ASSIGN_OR_RETURN(std::vector<NodeId> order,
+                       InducedTopoAncestorsFirst(*dag, affected));
+
+  // (4) Replay the Fig.4 recurrence over the affected region only,
+  // ancestors first, diffing against the stale sets to emit the true ∆M.
+  reach_.Reserve(dag->capacity());
+  for (NodeId x : order) {
+    std::unordered_set<NodeId> fresh;
+    for (NodeId p : dag->parents(x)) {
+      fresh.insert(p);
+      const auto& ap = reach_.Ancestors(p);
+      fresh.insert(ap.begin(), ap.end());
+    }
+    const auto& old_anc = reach_.Ancestors(x);
+    std::vector<NodeId> to_del, to_ins;
+    for (NodeId a : old_anc) {
+      if (fresh.count(a) == 0) to_del.push_back(a);
+    }
+    for (NodeId a : fresh) {
+      if (old_anc.count(a) == 0) to_ins.push_back(a);
+    }
+    for (NodeId a : to_del) {
+      reach_.Erase(a, x);
+      delta->m_deleted.emplace_back(a, x);
+    }
+    for (NodeId a : to_ins) {
+      reach_.Insert(a, x);
+      delta->m_inserted.emplace_back(a, x);
+    }
+  }
+
+  // (5) Tombstoned nodes are not in the affected region (they are
+  // unreachable); clear their residual pairs explicitly. Most are already
+  // gone via the symmetric bookkeeping of step (4).
+  for (NodeId v : stale_nodes) {
+    std::vector<NodeId> anc(reach_.Ancestors(v).begin(),
+                            reach_.Ancestors(v).end());
+    for (NodeId a : anc) {
+      if (reach_.Erase(a, v)) delta->m_deleted.emplace_back(a, v);
+    }
+    std::vector<NodeId> desc(reach_.Descendants(v).begin(),
+                             reach_.Descendants(v).end());
+    for (NodeId d : desc) {
+      if (reach_.Erase(v, d)) delta->m_deleted.emplace_back(v, d);
+    }
+  }
+
+  // (6) L: one linear Kahn pass over the cleaned DAG. This is O(|V|+|E|)
+  // — negligible next to the superlinear M work the merge avoids — and
+  // makes the incremental path's L bit-identical to the full rebuild's.
+  XVU_ASSIGN_OR_RETURN(topo_, TopoOrder::Compute(*dag));
+  return Status::OK();
+}
+
+Status MaintenanceEngine::MaintainBatch(DagView* dag,
+                                        const BatchOptions& options,
+                                        BatchReport* report) {
+  const uint64_t since = maintained_version_;
+  const bool covered = dag->JournalCovers(since);
+  const size_t pending = covered ? dag->JournalCountSince(since) : 0;
+
+  MaintenanceStrategy chosen = options.strategy;
+  if (chosen == MaintenanceStrategy::kAuto) {
+    size_t budget = std::max(
+        options.incremental_journal_floor,
+        static_cast<size_t>(options.incremental_journal_ratio *
+                            static_cast<double>(dag->num_nodes())));
+    chosen = covered && pending <= budget
+                 ? MaintenanceStrategy::kIncrementalMerge
+                 : MaintenanceStrategy::kFullRebuild;
+  }
+  if (chosen == MaintenanceStrategy::kIncrementalMerge && !covered) {
+    // Forced incremental but the journal window was evicted: replaying
+    // would miss mutations, so degrade (report->used tells the truth).
+    chosen = MaintenanceStrategy::kFullRebuild;
+  }
+
+  if (chosen == MaintenanceStrategy::kIncrementalMerge) {
+    if (pending == 0) {
+      // Nothing happened since the last maintenance pass.
+      report->used = MaintenanceStrategy::kIncrementalMerge;
+      report->journal_entries_replayed = 0;
+      return Status::OK();
+    }
+    std::vector<DagDelta> journal = dag->JournalSince(since);
+    report->journal_entries_replayed = journal.size();
+    Status st = IncrementalMerge(dag, journal, &report->delta);
+    if (st.ok()) {
+      report->used = MaintenanceStrategy::kIncrementalMerge;
+      maintained_version_ = dag->version();
+      return Status::OK();
+    }
+    // The merge may have left M half-updated; the wholesale rebuild below
+    // replaces it entirely. GC already performed (orphan_edges /
+    // removed_nodes) stays in the report — those removals really happened
+    // and the caller must still reclaim their relational coding. The
+    // half-emitted ∆M is meaningless after a rebuild, so drop it.
+    report->delta.m_inserted.clear();
+    report->delta.m_deleted.clear();
+  }
+
+  report->used = MaintenanceStrategy::kFullRebuild;
+  XVU_RETURN_NOT_OK(xvu::MaintainBatch(dag, &reach_, &topo_, &report->delta));
+  maintained_version_ = dag->version();
+  return Status::OK();
+}
+
+}  // namespace xvu

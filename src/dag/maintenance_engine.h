@@ -1,0 +1,103 @@
+#ifndef XVU_DAG_MAINTENANCE_ENGINE_H_
+#define XVU_DAG_MAINTENANCE_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/dag/dag_view.h"
+#include "src/dag/journal.h"
+#include "src/dag/maintenance.h"
+#include "src/dag/reachability.h"
+#include "src/dag/topo_order.h"
+
+namespace xvu {
+
+/// How a batch's auxiliary-structure maintenance is performed.
+enum class MaintenanceStrategy {
+  /// Pick per batch by the cost model on |journal| vs |V|.
+  kAuto,
+  /// Replay the ∆V journal through a generalized multi-op ∆(M,L) merge
+  /// (Fig.7/8 steps consolidated over the whole batch), emitting true
+  /// m_inserted/m_deleted deltas.
+  kIncrementalMerge,
+  /// Garbage-collect + rebuild L (Kahn) and M (Algorithm Reach) wholesale.
+  kFullRebuild,
+};
+
+const char* MaintenanceStrategyName(MaintenanceStrategy s);
+
+/// Owner of the auxiliary structures M (reachability) and L (topological
+/// order) of Section 3.1, and of the strategy that keeps them in sync with
+/// the DAG after updates.
+///
+/// The engine tracks the DAG version its structures are valid for
+/// (`maintained_version`). A batch's mutations land in the DagView's ∆V
+/// journal; MaintainBatch then either replays `JournalSince(
+/// maintained_version)` incrementally or rebuilds wholesale, per strategy.
+/// Because each replay is driven purely by the journal window, it is a
+/// well-defined unit of work that a background worker thread could execute
+/// (see ROADMAP).
+class MaintenanceEngine {
+ public:
+  struct BatchOptions {
+    MaintenanceStrategy strategy = MaintenanceStrategy::kAuto;
+    /// kAuto cost model: incremental merge is chosen when the journal
+    /// window is covered and its length is at most
+    /// max(floor, ratio · |V|); beyond that the affected region approaches
+    /// the whole view and the wholesale rebuild's better constants win.
+    double incremental_journal_ratio = 0.25;
+    size_t incremental_journal_floor = 64;
+  };
+
+  struct BatchReport {
+    MaintenanceStrategy used = MaintenanceStrategy::kFullRebuild;
+    size_t journal_entries_replayed = 0;
+    MaintenanceDelta delta;
+  };
+
+  /// Recomputes L and M from scratch and syncs the journal cursor.
+  Status Rebuild(const DagView& dag);
+
+  const TopoOrder& topo() const { return topo_; }
+  const Reachability& reach() const { return reach_; }
+  /// DAG version the structures are currently valid for.
+  uint64_t maintained_version() const { return maintained_version_; }
+
+  /// Per-op incremental maintenance (Fig.7 / Fig.8), keeping the journal
+  /// cursor in sync. Same contracts as the free functions they wrap.
+  Status MaintainInsert(const DagView& dag, NodeId subtree_root,
+                        const std::vector<NodeId>& new_nodes,
+                        const std::vector<NodeId>& targets,
+                        MaintenanceDelta* delta);
+  Status MaintainDelete(DagView* dag, const std::vector<NodeId>& targets,
+                        MaintenanceDelta* delta);
+
+  /// Batch maintenance: garbage-collects unreachable nodes and brings M
+  /// and L to dag->version(), choosing the strategy per `options`. Both
+  /// strategies produce identical M, L (bit-identical: the incremental
+  /// path re-derives L with the same Kahn pass over the cleaned DAG) and
+  /// view; the incremental path additionally fills the report delta's
+  /// m_inserted/m_deleted with the true ∆M pairs.
+  ///
+  /// A forced kIncrementalMerge silently degrades to kFullRebuild when the
+  /// journal window is not covered (report->used tells the truth).
+  Status MaintainBatch(DagView* dag, const BatchOptions& options,
+                       BatchReport* report);
+
+ private:
+  /// The generalized multi-op ∆(M,L) merge. Consolidates the journal into
+  /// its net structural effect, garbage-collects, recomputes ancestor sets
+  /// over the affected region only (new-DAG desc-or-self of the changed
+  /// edges' child endpoints and new nodes), and re-derives L linearly.
+  Status IncrementalMerge(DagView* dag, const std::vector<DagDelta>& journal,
+                          MaintenanceDelta* delta);
+
+  TopoOrder topo_;
+  Reachability reach_;
+  uint64_t maintained_version_ = 0;
+};
+
+}  // namespace xvu
+
+#endif  // XVU_DAG_MAINTENANCE_ENGINE_H_

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/dag/dag_view.h"
+#include "src/dag/journal.h"
+
+namespace xvu {
+namespace {
+
+TEST(DagJournal, AppendSinceAndCount) {
+  DagJournal j;
+  for (uint64_t v = 1; v <= 5; ++v) {
+    DagDelta d;
+    d.kind = DagDelta::Kind::kNodeAdded;
+    d.node = static_cast<NodeId>(v);
+    d.version = v;
+    j.Append(d);
+  }
+  EXPECT_TRUE(j.Covers(0));
+  EXPECT_TRUE(j.Covers(3));
+  EXPECT_EQ(j.CountSince(0), 5u);
+  EXPECT_EQ(j.CountSince(3), 2u);
+  EXPECT_EQ(j.CountSince(5), 0u);
+  std::vector<DagDelta> tail = j.Since(3);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].version, 4u);
+  EXPECT_EQ(tail[1].version, 5u);
+}
+
+TEST(DagJournal, BoundedCapacityEvictsOldestAndUncovers) {
+  DagJournal j(3);
+  for (uint64_t v = 1; v <= 5; ++v) {
+    DagDelta d;
+    d.kind = DagDelta::Kind::kNodeAdded;
+    d.version = v;
+    j.Append(d);
+  }
+  EXPECT_EQ(j.size(), 3u);  // versions 3, 4, 5 retained
+  EXPECT_TRUE(j.Covers(2));
+  EXPECT_TRUE(j.Covers(4));
+  EXPECT_FALSE(j.Covers(1));  // entry v2 was evicted
+  EXPECT_FALSE(j.Covers(0));
+}
+
+TEST(DagViewJournal, RecordsEveryMutationWithConsecutiveVersions) {
+  DagView dag;
+  NodeId r = dag.GetOrAddNode("r", {});
+  NodeId a = dag.GetOrAddNode("a", {});
+  dag.SetRoot(r);
+  dag.AddEdge(r, a);
+  ASSERT_TRUE(dag.RemoveEdge(r, a).ok());
+  ASSERT_TRUE(dag.RemoveNode(a).ok());
+
+  ASSERT_TRUE(dag.JournalCovers(0));
+  std::vector<DagDelta> all = dag.JournalSince(0);
+  ASSERT_EQ(all.size(), dag.version());
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].version, i + 1);  // consecutive, one per mutation
+  }
+  EXPECT_EQ(all[0].kind, DagDelta::Kind::kNodeAdded);
+  EXPECT_EQ(all[1].kind, DagDelta::Kind::kNodeAdded);
+  EXPECT_EQ(all[2].kind, DagDelta::Kind::kRootChanged);
+  EXPECT_EQ(all[3].kind, DagDelta::Kind::kEdgeAdded);
+  EXPECT_EQ(all[3].parent, r);
+  EXPECT_EQ(all[3].child, a);
+  EXPECT_EQ(all[4].kind, DagDelta::Kind::kEdgeRemoved);
+  EXPECT_EQ(all[5].kind, DagDelta::Kind::kNodeRemoved);
+  EXPECT_EQ(all[5].node, a);
+
+  // Cursor semantics: a consumer at version v sees only what came after.
+  EXPECT_EQ(dag.JournalSince(dag.version()).size(), 0u);
+  EXPECT_EQ(dag.JournalCountSince(4), 2u);
+}
+
+TEST(DagViewJournal, NoOpMutationsProduceNoEntries) {
+  DagView dag;
+  NodeId r = dag.GetOrAddNode("r", {});
+  NodeId a = dag.GetOrAddNode("a", {});
+  dag.SetRoot(r);
+  dag.AddEdge(r, a);
+  uint64_t v = dag.version();
+  EXPECT_FALSE(dag.AddEdge(r, a));          // duplicate edge
+  dag.SetRoot(r);                           // same root
+  EXPECT_EQ(dag.GetOrAddNode("r", {}), r);  // existing node
+  EXPECT_EQ(dag.version(), v);
+  EXPECT_EQ(dag.JournalCountSince(v), 0u);
+}
+
+TEST(DagView, RemoveEdgeKeepsParentSetIntact) {
+  // The parents vector is unordered (swap-erase): after removing one of
+  // several incoming edges, the remaining parents must all survive.
+  DagView dag;
+  NodeId r = dag.GetOrAddNode("r", {});
+  NodeId p1 = dag.GetOrAddNode("p", {Value::Int(1)});
+  NodeId p2 = dag.GetOrAddNode("p", {Value::Int(2)});
+  NodeId p3 = dag.GetOrAddNode("p", {Value::Int(3)});
+  NodeId c = dag.GetOrAddNode("c", {});
+  dag.SetRoot(r);
+  for (NodeId p : {p1, p2, p3}) {
+    dag.AddEdge(r, p);
+    dag.AddEdge(p, c);
+  }
+  ASSERT_TRUE(dag.RemoveEdge(p1, c).ok());
+  std::vector<NodeId> ps = dag.parents(c);
+  std::sort(ps.begin(), ps.end());
+  EXPECT_EQ(ps, (std::vector<NodeId>{p2, p3}));
+  ASSERT_TRUE(dag.RemoveEdge(p3, c).ok());
+  EXPECT_EQ(dag.parents(c), std::vector<NodeId>{p2});
+  EXPECT_FALSE(dag.RemoveEdge(p1, c).ok());  // already gone
+}
+
+}  // namespace
+}  // namespace xvu

@@ -166,7 +166,7 @@ TEST(Pipeline, MixedBatchDeletesAndInsertsAtomically) {
   ExpectConsistent(*sys);
 }
 
-TEST(Pipeline, CacheMissesAcrossDagVersionsHitsWhenUnchanged) {
+TEST(Pipeline, CacheIsDeltaPatchedAcrossDagVersions) {
   auto sys = MakeSystem();
   UpdateBatch b1;
   b1.Insert("student", {S("S07"), S("Grace")},
@@ -174,18 +174,21 @@ TEST(Pipeline, CacheMissesAcrossDagVersionsHitsWhenUnchanged) {
   ASSERT_TRUE(sys->ApplyBatch(b1).ok());
   EXPECT_EQ(sys->last_stats().xpath_evaluations, 1u);
 
-  // Same path again: b1 mutated the DAG, so the cached node-set is stale
-  // and must be re-evaluated at the new version.
+  // Same path again: b1 mutated the DAG with additions only, so the
+  // cached node-set is patched forward through the ∆V journal instead of
+  // being invalidated and re-evaluated.
   UpdateBatch b2;
   b2.Insert("student", {S("S08"), S("Edsger")},
             P("course[cno=\"CS650\"]/takenBy"));
   ASSERT_TRUE(sys->ApplyBatch(b2).ok());
-  EXPECT_EQ(sys->last_stats().xpath_evaluations, 1u);
+  EXPECT_EQ(sys->last_stats().xpath_evaluations, 0u);
+  EXPECT_EQ(sys->last_stats().delta_patches, 1u);
   EXPECT_EQ(sys->last_stats().xpath_cache_hits, 0u);
-  EXPECT_GE(sys->eval_cache().stats().invalidations, 1u);
+  EXPECT_GE(sys->eval_cache().stats().delta_patches, 1u);
+  ExpectConsistent(*sys);
 
   // A rejected batch leaves the DAG untouched; resubmitting reuses its
-  // cached evaluation.
+  // cached evaluation as an exact hit.
   UpdateBatch rejected;
   rejected.Delete(P("//student[ssn=\"NOPE\"]"));
   EXPECT_FALSE(sys->ApplyBatch(rejected).ok());
@@ -193,6 +196,29 @@ TEST(Pipeline, CacheMissesAcrossDagVersionsHitsWhenUnchanged) {
   EXPECT_FALSE(sys->ApplyBatch(rejected).ok());
   EXPECT_EQ(sys->last_stats().xpath_evaluations, 0u);
   EXPECT_EQ(sys->last_stats().xpath_cache_hits, 1u);
+}
+
+TEST(Pipeline, DeletionWindowsFallBackToFreshEvaluation) {
+  auto sys = MakeSystem();
+  UpdateBatch b1;
+  b1.Insert("student", {S("S07"), S("Grace")},
+            P("course[cno=\"CS650\"]/takenBy"));
+  ASSERT_TRUE(sys->ApplyBatch(b1).ok());
+
+  // A deletion makes the journal window non-monotone: the cached entry
+  // for the insert path cannot be patched and must re-evaluate.
+  UpdateBatch b2;
+  b2.Delete(P("//student[ssn=\"S03\"]"));
+  ASSERT_TRUE(sys->ApplyBatch(b2).ok());
+
+  UpdateBatch b3;
+  b3.Insert("student", {S("S09"), S("Barbara")},
+            P("course[cno=\"CS650\"]/takenBy"));
+  ASSERT_TRUE(sys->ApplyBatch(b3).ok());
+  EXPECT_EQ(sys->last_stats().xpath_evaluations, 1u);
+  EXPECT_EQ(sys->last_stats().delta_patches, 0u);
+  EXPECT_EQ(sys->last_stats().fallback_evals, 1u);
+  ExpectConsistent(*sys);
 }
 
 TEST(Pipeline, RejectsDoubleDeleteOfSameEdge) {
