@@ -11,12 +11,20 @@
 // evaluator runs). The binary exits non-zero if any property fails, so it
 // doubles as a regression check.
 //
+// A final section re-runs the batch on two fresh systems, one with
+// worker_threads=1 and one with XVU_BENCH_BATCH_WORKERS (default 4)
+// workers, asserting the parallel run's view/base/stats identical to the
+// serial one and at least XVU_BENCH_BATCH_PAR_SPEEDUP (default 2) faster
+// end-to-end.
+//
 // Knobs: XVU_BENCH_BATCH_C (|C|, default 20000), XVU_BENCH_BATCH_N
 // (ops per batch, default 100).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -175,6 +183,76 @@ int Run() {
         "remaining second-batch ops hit the patched entry");
   check(seq->dag().CanonicalEdges() == bat->dag().CanonicalEdges(),
         "patched-evaluation batch matches sequential application");
+
+  // (d) Thread-pooled ApplyBatch: same batch on two fresh systems, one
+  // serial and one with a worker pool. The parallel run must be
+  // bit-identical (view, base, stats) and meet the end-to-end speedup bar
+  // in the median of 3 rounds (each round a fresh disjoint batch, so both
+  // systems advance in lockstep).
+  size_t workers = static_cast<size_t>(EnvOr("XVU_BENCH_BATCH_WORKERS", 4));
+  // The 2x bar presumes the workers actually get cores; on smaller
+  // machines only the bit-identity assertion is meaningful.
+  size_t cores = std::thread::hardware_concurrency();
+  double par_min = cores >= workers ? 2.0 : 0.0;
+  if (const char* env = std::getenv("XVU_BENCH_BATCH_PAR_SPEEDUP")) {
+    par_min = std::atof(env);
+  }
+  if (cores < workers) {
+    std::printf("  note: %zu hardware threads < %zu workers; speedup bar "
+                "%.1fx\n",
+                cores, workers, par_min);
+  }
+  UpdateSystem::Options par_options;
+  par_options.worker_threads = workers;
+  UpdateSystem* ser = FreshSystemFor(n, 77);
+  UpdateSystem* par = FreshSystemFor(n, 77, par_options);
+  std::vector<double> ser_times, par_times;
+  bool par_identical = true;
+  for (int round = 0; round < 3; ++round) {
+    UpdateBatch round_batch;
+    for (size_t i = 0; i < num_ops; ++i) {
+      int64_t id = 70000000 + round * 1000000 + static_cast<int64_t>(i);
+      std::string s = "insert C(" + std::to_string(id) + ", " +
+                      std::to_string(id % 100) + ") into " + path;
+      if (!round_batch.Add(s, ser->atg()).ok()) return 1;
+    }
+    t0 = Clock::now();
+    Status ser_st = ser->ApplyBatch(round_batch);
+    ser_times.push_back(SecondsSince(t0));
+    t0 = Clock::now();
+    Status par_st = par->ApplyBatch(round_batch);
+    par_times.push_back(SecondsSince(t0));
+    if (!ser_st.ok() || !par_st.ok()) {
+      std::fprintf(stderr, "parallel-round batch failed: %s / %s\n",
+                   ser_st.ToString().c_str(), par_st.ToString().c_str());
+      return 1;
+    }
+    const UpdateStats& ss = ser->last_stats();
+    const UpdateStats& ps = par->last_stats();
+    par_identical = par_identical &&
+                    ser->dag().CanonicalEdges() ==
+                        par->dag().CanonicalEdges() &&
+                    ser->database().TotalRows() ==
+                        par->database().TotalRows() &&
+                    ss.selected == ps.selected && ss.delta_v == ps.delta_v &&
+                    ss.delta_r == ps.delta_r &&
+                    ss.distinct_paths == ps.distinct_paths &&
+                    ss.xpath_evaluations == ps.xpath_evaluations &&
+                    ss.symbolic_tasks == ps.symbolic_tasks &&
+                    ss.symbolic_candidates == ps.symbolic_candidates &&
+                    ser->eval_cache().DebugFingerprint() ==
+                        par->eval_cache().DebugFingerprint();
+  }
+  std::sort(ser_times.begin(), ser_times.end());
+  std::sort(par_times.begin(), par_times.end());
+  double par_speedup =
+      par_times[1] > 0 ? ser_times[1] / par_times[1] : 0;
+  std::printf("  parallel:   %8.2f ms serial vs %8.2f ms with %zu workers "
+              "-> %.2fx (required >= %.2fx)\n",
+              ser_times[1] * 1e3, par_times[1] * 1e3, workers, par_speedup,
+              par_min);
+  check(par_identical, "parallel ApplyBatch bit-identical to serial");
+  check(par_speedup >= par_min, "parallel run meets the speedup bar");
   return failures == 0 ? 0 : 1;
 }
 

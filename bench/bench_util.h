@@ -1,6 +1,8 @@
 #ifndef XVU_BENCH_BENCH_UTIL_H_
 #define XVU_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -14,6 +16,26 @@
 
 namespace xvu {
 namespace bench {
+
+/// Runs `fn` `warmup` times unmeasured (cold caches, lazy allocations),
+/// then `k` measured times, and returns the median wall-clock seconds.
+/// Medians over warmed runs are what the BENCH_*.json files record —
+/// stable enough to compare across PRs, unlike single cold runs.
+template <typename Fn>
+double MedianSeconds(Fn&& fn, int k = 5, int warmup = 1) {
+  using Clock = std::chrono::steady_clock;
+  if (k < 1) k = 1;
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> runs;
+  runs.reserve(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    auto t0 = Clock::now();
+    fn();
+    runs.push_back(std::chrono::duration<double>(Clock::now() - t0).count());
+  }
+  std::sort(runs.begin(), runs.end());
+  return runs[runs.size() / 2];
+}
 
 /// Database sizes |C| swept by the benchmarks. The paper uses 1K..1M; the
 /// default here stops at 50K to keep a full bench run in minutes — set

@@ -1,0 +1,74 @@
+#include "src/common/thread_pool.h"
+
+namespace xvu {
+
+ThreadPool::ThreadPool(size_t workers) : workers_(workers < 1 ? 1 : workers) {
+  threads_.reserve(workers_ - 1);
+  for (size_t i = 0; i + 1 < workers_; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Drain(const std::function<void(size_t)>& fn, size_t n,
+                       std::atomic<size_t>* next) {
+  for (size_t i = next->fetch_add(1, std::memory_order_relaxed); i < n;
+       i = next->fetch_add(1, std::memory_order_relaxed)) {
+    fn(i);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    ++generation_;
+    active_ = threads_.size();
+  }
+  work_cv_.notify_all();
+  Drain(fn, n, &next_);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return active_ == 0; });
+  // Every worker is done with `fn`; drop the borrowed pointer before the
+  // caller's reference goes out of scope.
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  while (true) {
+    const std::function<void(size_t)>* job = nullptr;
+    size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+      n = job_n_;
+    }
+    Drain(*job, n, &next_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace xvu

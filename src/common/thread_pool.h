@@ -1,0 +1,78 @@
+#ifndef XVU_COMMON_THREAD_POOL_H_
+#define XVU_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xvu {
+
+/// A fixed-size pool of persistent worker threads driving data-parallel
+/// index loops (no work stealing, no task graph — one blocking ParallelFor
+/// at a time).
+///
+/// Workers pull indices from a shared atomic counter, so load balances
+/// dynamically; determinism is the *caller's* contract: tasks must write
+/// only to their own per-index slots, and the caller merges slots in index
+/// order afterwards. Under that protocol results are bit-identical to a
+/// serial loop regardless of the worker count.
+///
+/// The calling thread participates in the loop, so a pool constructed with
+/// `workers` executes with `workers` concurrent lanes while spawning only
+/// `workers - 1` threads. ParallelFor calls must not be nested.
+class ThreadPool {
+ public:
+  /// Spawns `workers - 1` persistent threads (a pool of 1 spawns none and
+  /// ParallelFor degenerates to a serial loop). `workers` is clamped to at
+  /// least 1.
+  explicit ThreadPool(size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Concurrent lanes ParallelFor runs with (spawned threads + caller).
+  size_t workers() const { return workers_; }
+
+  /// Runs fn(i) for every i in [0, n), blocking until all calls returned.
+  /// `fn` must not throw and must not call ParallelFor recursively.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  /// Drains the current job's remaining indices on the calling thread.
+  static void Drain(const std::function<void(size_t)>& fn, size_t n,
+                    std::atomic<size_t>* next);
+
+  size_t workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< signalled when a job is posted
+  std::condition_variable done_cv_;  ///< signalled when a worker finishes
+  const std::function<void(size_t)>* job_ = nullptr;  // guarded by mu_
+  size_t job_n_ = 0;                                  // guarded by mu_
+  uint64_t generation_ = 0;                           // guarded by mu_
+  size_t active_ = 0;                                 // guarded by mu_
+  bool stop_ = false;                                 // guarded by mu_
+  std::atomic<size_t> next_{0};
+};
+
+/// Runs fn(i) for i in [0, n): on `pool` when one is available, serially
+/// otherwise. The uniform entry point for optionally-parallel phases.
+inline void ParallelFor(ThreadPool* pool, size_t n,
+                        const std::function<void(size_t)>& fn) {
+  if (pool != nullptr) {
+    pool->ParallelFor(n, fn);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) fn(i);
+}
+
+}  // namespace xvu
+
+#endif  // XVU_COMMON_THREAD_POOL_H_

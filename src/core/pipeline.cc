@@ -41,15 +41,26 @@ Status UpdateBatch::Add(const std::string& stmt, const Atg& atg) {
   return Status::OK();
 }
 
+void PathEvalCache::Touch(Entry* e) {
+  recency_.splice(recency_.end(), recency_, e->recency_it);
+}
+
+void PathEvalCache::EraseEntry(
+    std::unordered_map<std::string, Entry>::iterator it) {
+  recency_.erase(it->second.recency_it);
+  entries_.erase(it);
+}
+
 const EvalResult* PathEvalCache::Lookup(const std::string& key,
                                         uint64_t dag_version) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
     return nullptr;
   }
   if (it->second.version != dag_version) {
-    entries_.erase(it);
+    EraseEntry(it);
     ++stats_.invalidations;
     ++stats_.misses;
     return nullptr;
@@ -63,6 +74,7 @@ const EvalResult* PathEvalCache::LookupOrPatch(const std::string& key,
                                                const TopoOrder& topo,
                                                const Reachability& reach,
                                                Outcome* outcome) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto set_outcome = [&](Outcome o) {
     if (outcome != nullptr) *outcome = o;
   };
@@ -81,11 +93,12 @@ const EvalResult* PathEvalCache::LookupOrPatch(const std::string& key,
   if (dag.JournalCovers(e.version) &&
       TryPatchEval(dag, topo, reach, dag.JournalSince(e.version), &e.eval)) {
     e.version = dag.version();
+    Touch(&e);  // now the newest version: back of the eviction order
     ++stats_.delta_patches;
     set_outcome(Outcome::kPatched);
     return &e.eval.result;
   }
-  entries_.erase(it);
+  EraseEntry(it);
   ++stats_.invalidations;
   ++stats_.misses;
   ++stats_.fallback_evals;
@@ -95,7 +108,14 @@ const EvalResult* PathEvalCache::LookupOrPatch(const std::string& key,
 
 const EvalResult* PathEvalCache::Store(std::string key, uint64_t dag_version,
                                        CachedEval eval) {
-  Entry& e = entries_[std::move(key)];
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(std::move(key));
+  Entry& e = it->second;
+  if (inserted) {
+    e.recency_it = recency_.insert(recency_.end(), &it->first);
+  } else {
+    Touch(&e);
+  }
   e.version = dag_version;
   e.eval = std::move(eval);
   return &e.eval.result;
@@ -109,22 +129,58 @@ const EvalResult* PathEvalCache::Store(std::string key, uint64_t dag_version,
 }
 
 void PathEvalCache::Compact(size_t max_entries) {
-  if (entries_.size() <= max_entries) return;
-  std::vector<std::pair<uint64_t, const std::string*>> by_version;
-  by_version.reserve(entries_.size());
-  for (const auto& [key, entry] : entries_) {
-    by_version.emplace_back(entry.version, &key);
-  }
-  std::sort(by_version.begin(), by_version.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  size_t excess = entries_.size() - max_entries;
-  for (size_t i = 0; i < excess; ++i) {
-    entries_.erase(*by_version[i].second);
+  std::lock_guard<std::mutex> lock(mu_);
+  while (entries_.size() > max_entries) {
+    auto it = entries_.find(*recency_.front());
+    EraseEntry(it);
     ++stats_.invalidations;
   }
 }
 
-void PathEvalCache::Clear() { entries_.clear(); }
+void PathEvalCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  recency_.clear();
+}
+
+std::string PathEvalCache::DebugFingerprint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const std::string*> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) keys.push_back(&key);
+  std::sort(keys.begin(), keys.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  std::string out;
+  auto append_ids = [&out](const std::vector<NodeId>& ids) {
+    for (NodeId v : ids) {
+      out += std::to_string(v);
+      out += ',';
+    }
+    out += ';';
+  };
+  for (const std::string* key : keys) {
+    const Entry& e = entries_.at(*key);
+    out += *key;
+    out += '@';
+    out += std::to_string(e.version);
+    out += '|';
+    append_ids(e.eval.result.selected);
+    for (const auto& [u, v] : e.eval.result.parent_edges) {
+      out += std::to_string(u);
+      out += '>';
+      out += std::to_string(v);
+      out += ',';
+    }
+    out += ';';
+    append_ids(e.eval.result.side_effect_nodes);
+    out += '[';
+    for (const DenseNodeSet& step : e.eval.reached) {
+      append_ids(step.items);
+    }
+    out += "]\n";
+  }
+  return out;
+}
 
 namespace {
 
@@ -164,39 +220,109 @@ Status UpdateSystem::ApplyBatch(const UpdateBatch& batch) {
 
   // ---- Phase 1: shared XPath evaluation. All ops see the same snapshot
   // (nothing is mutated until phase 4), so each distinct normal-form path
-  // is evaluated exactly once; repeats are guaranteed cache hits. Entries
-  // surviving from earlier batches are delta-patched against the ∆V
-  // journal instead of being invalidated; only unpatchable ones fall back
-  // to a fresh (traced) evaluation.
+  // is evaluated exactly once; ops sharing a key are deduplicated up
+  // front and cost no additional cache probe. Entries surviving from
+  // earlier batches are delta-patched against the ∆V journal instead of
+  // being invalidated; only unpatchable ones fall back to a fresh
+  // (traced) evaluation.
+  //
+  // The cache's two-phase protocol: (collect) probe once per distinct key
+  // serially — hits and patches resolve here, misses queue up; (evaluate)
+  // run the queued evaluations on the worker pool, touching nothing but
+  // the immutable snapshot; (publish) store the results serially in
+  // first-occurrence order. Bit-identical for any worker count.
   auto t0 = Clock::now();
   XPathEvaluator evaluator(&dag_, &engine_.topo(), &engine_.reach());
   const uint64_t snapshot_version = dag_.version();
+  stats_.workers = pool() != nullptr ? pool()->workers() : 1;
   eval_cache_.Compact();
-  std::vector<const EvalResult*> evals(ops.size());
-  std::set<std::string> distinct_keys;
+  struct DistinctPath {
+    std::string key;
+    const Path* path = nullptr;
+    const EvalResult* ev = nullptr;
+    PathEvalCache::Outcome outcome = PathEvalCache::Outcome::kMiss;
+  };
+  std::vector<DistinctPath> distinct;
+  distinct.reserve(ops.size());
+  std::unordered_map<std::string, size_t> key_to_distinct;
+  key_to_distinct.reserve(ops.size());
+  std::vector<size_t> op_distinct(ops.size());
   for (size_t i = 0; i < ops.size(); ++i) {
     std::string key = NormalFormKey(ops[i].path);
-    distinct_keys.insert(key);
-    PathEvalCache::Outcome outcome = PathEvalCache::Outcome::kMiss;
-    const EvalResult* ev = eval_cache_.LookupOrPatch(
-        key, dag_, engine_.topo(), engine_.reach(), &outcome);
-    if (ev != nullptr) {
-      if (outcome == PathEvalCache::Outcome::kPatched) {
-        ++stats_.delta_patches;
-      } else {
-        ++stats_.xpath_cache_hits;
+    auto [it, inserted] = key_to_distinct.emplace(std::move(key),
+                                                  distinct.size());
+    if (inserted) {
+      DistinctPath d;
+      d.key = it->first;
+      d.path = &ops[i].path;
+      distinct.push_back(std::move(d));
+    } else {
+      ++stats_.dedup_ops;
+    }
+    op_distinct[i] = it->second;
+  }
+  stats_.distinct_paths = distinct.size();
+
+  // Collect: one serial probe per distinct path.
+  std::vector<size_t> miss_idx;
+  for (size_t d = 0; d < distinct.size(); ++d) {
+    distinct[d].ev =
+        eval_cache_.LookupOrPatch(distinct[d].key, dag_, engine_.topo(),
+                                  engine_.reach(), &distinct[d].outcome);
+    if (distinct[d].ev == nullptr) miss_idx.push_back(d);
+  }
+  stats_.parallel_eval_tasks = miss_idx.size();
+
+  // Evaluate: misses fan out on the pool; each task writes only its slot.
+  std::vector<CachedEval> fresh(miss_idx.size());
+  std::vector<Status> fresh_status(miss_idx.size());
+  ParallelFor(pool(), miss_idx.size(), [&](size_t k) {
+    Result<CachedEval> r =
+        evaluator.EvaluateTraced(*distinct[miss_idx[k]].path);
+    if (r.ok()) {
+      fresh[k] = std::move(r).value();
+    } else {
+      fresh_status[k] = r.status();
+    }
+  });
+
+  // Publish: store once per miss, in deterministic first-occurrence order
+  // (also the order errors are reported in).
+  for (size_t k = 0; k < miss_idx.size(); ++k) {
+    XVU_RETURN_NOT_OK(fresh_status[k]);
+    DistinctPath& d = distinct[miss_idx[k]];
+    d.ev = eval_cache_.Store(d.key, snapshot_version, std::move(fresh[k]));
+  }
+
+  // Per-op accounting and policy checks, in op order — the counters come
+  // out exactly as the serial per-op probing produced them (first op of a
+  // path pays by its outcome, every duplicate counts as a cache hit).
+  std::vector<const EvalResult*> evals(ops.size());
+  std::vector<uint8_t> counted(distinct.size(), 0);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const DistinctPath& d = distinct[op_distinct[i]];
+    const EvalResult* ev = d.ev;
+    evals[i] = ev;
+    if (!counted[op_distinct[i]]) {
+      counted[op_distinct[i]] = 1;
+      switch (d.outcome) {
+        case PathEvalCache::Outcome::kHit:
+          ++stats_.xpath_cache_hits;
+          break;
+        case PathEvalCache::Outcome::kPatched:
+          ++stats_.delta_patches;
+          break;
+        case PathEvalCache::Outcome::kFallback:
+          ++stats_.fallback_evals;
+          ++stats_.xpath_evaluations;
+          break;
+        case PathEvalCache::Outcome::kMiss:
+          ++stats_.xpath_evaluations;
+          break;
       }
     } else {
-      if (outcome == PathEvalCache::Outcome::kFallback) {
-        ++stats_.fallback_evals;
-      }
-      ++stats_.xpath_evaluations;
-      XVU_ASSIGN_OR_RETURN(CachedEval fresh,
-                           evaluator.EvaluateTraced(ops[i].path));
-      ev = eval_cache_.Store(std::move(key), snapshot_version,
-                            std::move(fresh));
+      ++stats_.xpath_cache_hits;
     }
-    evals[i] = ev;
     stats_.selected += ev->selected.size();
     if (ev->has_side_effects()) stats_.had_side_effects = true;
     if (ev->selected.empty()) {
@@ -212,7 +338,6 @@ Status UpdateSystem::ApplyBatch(const UpdateBatch& batch) {
           "; aborted by policy");
     }
   }
-  stats_.distinct_paths = distinct_keys.size();
   auto t1 = Clock::now();
   stats_.xpath_seconds = Seconds(t0, t1);
 
@@ -247,7 +372,9 @@ Status UpdateSystem::ApplyBatch(const UpdateBatch& batch) {
   if (del_ops.size() > 1) {
     for (size_t j : del_ops) {
       std::vector<NodeId> cone = CollectDescOrSelf(dag_, evals[j]->selected);
-      std::unordered_set<NodeId> cone_set(cone.begin(), cone.end());
+      std::unordered_set<NodeId> cone_set;
+      cone_set.reserve(cone.size() * 2);
+      cone_set.insert(cone.begin(), cone.end());
       for (size_t i : del_ops) {
         if (i == j) continue;
         for (const auto& e : evals[i]->parent_edges) {
@@ -265,7 +392,9 @@ Status UpdateSystem::ApplyBatch(const UpdateBatch& batch) {
   // any target inside desc-or-self of a deleted selection conflicts, even
   // if the node would survive through another parent.
   std::vector<NodeId> del_cone = CollectDescOrSelf(dag_, del_selected);
-  std::unordered_set<NodeId> del_cone_set(del_cone.begin(), del_cone.end());
+  std::unordered_set<NodeId> del_cone_set;
+  del_cone_set.reserve(del_cone.size() * 2);
+  del_cone_set.insert(del_cone.begin(), del_cone.end());
   for (size_t i = 0; i < ops.size(); ++i) {
     if (ops[i].kind != XmlUpdate::Kind::kInsert) continue;
     for (NodeId u : evals[i]->selected) {
@@ -299,12 +428,24 @@ Status UpdateSystem::ApplyBatch(const UpdateBatch& batch) {
   std::vector<InsertPlan> plans;
   for (size_t i = 0; i < ops.size(); ++i) {
     if (ops[i].kind != XmlUpdate::Kind::kInsert) continue;
-    XVU_ASSIGN_OR_RETURN(
-        std::vector<ViewRowOp> dv,
-        XInsertConnectRows(store_, db_, dag_, evals[i]->selected,
-                           ops[i].elem_type, ops[i].attr));
-    plans.push_back(InsertPlan{i, std::move(dv)});
+    plans.push_back(InsertPlan{i, {}});
   }
+  // Per-op connect rows are independent read-only derivations over the
+  // snapshot; fan them out, reporting the first failure in op order.
+  std::vector<Status> plan_status(plans.size());
+  ParallelFor(pool(), plans.size(), [&](size_t k) {
+    const XmlUpdate& op = ops[plans[k].op_index];
+    Result<std::vector<ViewRowOp>> r =
+        XInsertConnectRows(store_, db_, dag_,
+                           evals[plans[k].op_index]->selected, op.elem_type,
+                           op.attr);
+    if (r.ok()) {
+      plans[k].dv = std::move(r).value();
+    } else {
+      plan_status[k] = r.status();
+    }
+  });
+  for (const Status& plan_st : plan_status) XVU_RETURN_NOT_OK(plan_st);
   std::vector<const std::vector<ViewRowOp>*> ins_dv_per_op;
   ins_dv_per_op.reserve(plans.size());
   for (const InsertPlan& plan : plans) ins_dv_per_op.push_back(&plan.dv);
@@ -317,8 +458,10 @@ Status UpdateSystem::ApplyBatch(const UpdateBatch& batch) {
     ins_options.max_symbolic_candidates *= plans.size();
     XVU_ASSIGN_OR_RETURN(
         InsertTranslation tr,
-        TranslateGroupInsertion(store_, db_, ins_dv, ins_options));
+        TranslateGroupInsertion(store_, db_, ins_dv, ins_options, pool()));
     stats_.used_sat = tr.used_sat;
+    stats_.symbolic_tasks = tr.num_tasks;
+    stats_.symbolic_candidates = tr.num_candidates;
     dr.ops.insert(dr.ops.end(), tr.delta_r.ops.begin(), tr.delta_r.ops.end());
   }
   stats_.delta_v = del_dv.size() + ins_dv.size();

@@ -2,6 +2,8 @@
 #define XVU_CORE_PIPELINE_H_
 
 #include <cstdint>
+#include <list>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -52,6 +54,17 @@ class UpdateBatch {
 /// re-evaluating. Only when patching does not apply (removals in the
 /// window, negation in the path, journal window evicted) is the entry
 /// dropped and re-evaluated.
+///
+/// Parallel batches use a *two-phase protocol*: the coordinator collects
+/// all probes serially (LookupOrPatch — hits and journal patches resolve
+/// here, misses are queued), the queued paths are evaluated on the worker
+/// pool with no cache access at all, and the results are published in one
+/// serial pass (Store, in first-occurrence order) — so worker threads
+/// never touch the cache, and its contents are deterministic for any
+/// worker count. The internal mutex additionally serializes the public
+/// methods themselves, making stray concurrent probes safe; returned
+/// pointers stay valid until their entry is evicted (entries are
+/// node-based, rehashing does not move them).
 class PathEvalCache {
  public:
   /// Default bound on retained entries; each traced entry's masks are
@@ -92,6 +105,9 @@ class PathEvalCache {
                           EvalResult result);
 
   /// Drops oldest-version entries until at most `max_entries` remain.
+  /// O(evicted): eviction order comes from the maintained recency list
+  /// (append/splice-to-back on every store and patch, so the list stays
+  /// sorted by version), not from a scan over all entries.
   void Compact(size_t max_entries = kDefaultMaxEntries);
 
   void Clear();
@@ -99,13 +115,30 @@ class PathEvalCache {
   size_t size() const { return entries_.size(); }
   const Stats& stats() const { return stats_; }
 
+  /// Deterministic serialization of the complete cache contents (keys,
+  /// versions, results, traces), sorted by key — the bit-identity oracle
+  /// used by the parallel-determinism tests.
+  std::string DebugFingerprint() const;
+
  private:
   struct Entry {
     uint64_t version = 0;
     CachedEval eval;
+    /// Position in recency_, for O(1) splice/erase.
+    std::list<const std::string*>::iterator recency_it;
   };
+
+  /// Moves an entry to the back of the recency list (newest version).
+  void Touch(Entry* e);
+  /// Erases one entry and its recency node.
+  void EraseEntry(std::unordered_map<std::string, Entry>::iterator it);
+
   std::unordered_map<std::string, Entry> entries_;
+  /// Keys ordered oldest version first; pointers into entries_' keys
+  /// (node-based, stable until erase).
+  std::list<const std::string*> recency_;
   Stats stats_;
+  mutable std::mutex mu_;
 };
 
 }  // namespace xvu

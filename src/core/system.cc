@@ -39,6 +39,9 @@ Status UpdateSystem::Initialize() {
   // eval cache must go too — a fresh DagView restarts its version counter,
   // so stale entries could otherwise collide with new versions.
   eval_cache_.Clear();
+  if (options_.worker_threads > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
+  }
   store_ = ViewStore();
   dag_ = DagView();
   Publisher pub(&atg_, &db_);

@@ -7,6 +7,7 @@
 
 #include "src/atg/atg.h"
 #include "src/atg/publisher.h"
+#include "src/common/thread_pool.h"
 #include "src/core/evaluator.h"
 #include "src/core/pipeline.h"
 #include "src/core/update.h"
@@ -61,6 +62,20 @@ struct UpdateStats {
   size_t delta_patches = 0;
   size_t fallback_evals = 0;
 
+  /// Parallel-pipeline counters. `workers` is the lane count ApplyBatch
+  /// ran with (Options::worker_threads); `parallel_eval_tasks` the
+  /// distinct-path evaluations fanned out in Phase 1 (= cache misses) and
+  /// `symbolic_tasks` the independent side-effect passes of the insert
+  /// translation. `symbolic_candidates` counts the symbolic join work
+  /// items examined — near-linear in |∆V| with the template index,
+  /// quadratic without; `dedup_ops` the ops that shared an already-seen
+  /// normal-form key this batch (each cost zero additional cache probes).
+  size_t workers = 1;
+  size_t parallel_eval_tasks = 0;
+  size_t symbolic_tasks = 0;
+  size_t symbolic_candidates = 0;
+  size_t dedup_ops = 0;
+
   double total_seconds() const {
     return xpath_seconds + translate_seconds + maintain_seconds;
   }
@@ -88,6 +103,13 @@ class UpdateSystem {
     /// rebuild per batch by the |journal| vs |V| cost model; the explicit
     /// values force one path (benchmarks, tests).
     MaintenanceStrategy maintenance = MaintenanceStrategy::kAuto;
+    /// Worker lanes for ApplyBatch's read-only phases (the per-distinct-
+    /// path XPath evaluations of Phase 1 and the symbolic side-effect
+    /// passes of the insert translation). 1 = fully serial, no threads
+    /// spawned. Results are bit-identical for every value: all parallel
+    /// work reads one immutable snapshot, writes per-task slots, and is
+    /// merged in serial order.
+    size_t worker_threads = 1;
   };
 
   /// Publishes σ(db) and builds all auxiliary structures.
@@ -173,6 +195,10 @@ class UpdateSystem {
   Status PropagateBaseInsert(const std::string& table, const Tuple& row);
   Status PropagateBaseDelete(const std::string& table, const Tuple& row);
 
+  /// The pool backing ApplyBatch's parallel phases; null when
+  /// options_.worker_threads <= 1 (fully serial).
+  ThreadPool* pool() { return pool_.get(); }
+
   Atg atg_;
   Database db_;
   Options options_;
@@ -181,6 +207,7 @@ class UpdateSystem {
   MaintenanceEngine engine_;
   UpdateStats stats_;
   PathEvalCache eval_cache_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace xvu

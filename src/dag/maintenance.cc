@@ -10,7 +10,10 @@ namespace xvu {
 std::vector<NodeId> CollectDescOrSelf(const DagView& dag,
                                       const std::vector<NodeId>& roots) {
   std::unordered_set<NodeId> seen;
+  seen.reserve(roots.size() * 4);
   std::vector<NodeId> out, stack(roots.begin(), roots.end());
+  out.reserve(roots.size() * 2);
+  stack.reserve(roots.size() * 2);
   while (!stack.empty()) {
     NodeId v = stack.back();
     stack.pop_back();

@@ -28,6 +28,9 @@ Status CheckRelationalConflicts(const RelationalUpdate& dr,
 Result<std::vector<ViewRowOp>> ConsolidateViewOps(
     const std::vector<const std::vector<ViewRowOp>*>& per_op) {
   std::vector<ViewRowOp> merged;
+  size_t total = 0;
+  for (const std::vector<ViewRowOp>* dv : per_op) total += dv->size();
+  merged.reserve(total);
   std::set<std::pair<std::string, Tuple>> seen;
   for (const std::vector<ViewRowOp>* dv : per_op) {
     for (const ViewRowOp& op : *dv) {

@@ -1,12 +1,18 @@
 #include "src/viewupdate/insert.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
+#include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
+#include "src/common/thread_pool.h"
 #include "src/sat/dpll.h"
 #include "src/sat/encoder.h"
+#include "src/viewupdate/template_index.h"
 
 namespace xvu {
 
@@ -25,6 +31,13 @@ struct Sym {
 
 /// Union-find over unknown classes, with optional constant binding and the
 /// column type (for finite/infinite domain classification).
+///
+/// All mutation (NewClass/Bind/Union) happens while templates are built
+/// (step 1); afterwards the structure is frozen and every accessor is a
+/// const read, so the concurrent side-effect passes of step 2 may resolve
+/// classes without synchronization. Find therefore walks the parent chain
+/// without path compression — chains are short (bounded by the unions of
+/// one translation) and a compressing read would be a data race.
 class ClassMgr {
  public:
   size_t NewClass(ValueType type) {
@@ -34,17 +47,14 @@ class ClassMgr {
     return parent_.size() - 1;
   }
 
-  size_t Find(size_t c) {
-    while (parent_[c] != c) {
-      parent_[c] = parent_[parent_[c]];
-      c = parent_[c];
-    }
+  size_t Find(size_t c) const {
+    while (parent_[c] != c) c = parent_[c];
     return c;
   }
 
-  bool IsBound(size_t c) { return !bound_[Find(c)].is_null(); }
-  const Value& BoundValue(size_t c) { return bound_[Find(c)]; }
-  ValueType TypeOf(size_t c) { return type_[Find(c)]; }
+  bool IsBound(size_t c) const { return !bound_[Find(c)].is_null(); }
+  const Value& BoundValue(size_t c) const { return bound_[Find(c)]; }
+  ValueType TypeOf(size_t c) const { return type_[Find(c)]; }
 
   Status Bind(size_t c, const Value& v) {
     c = Find(c);
@@ -78,7 +88,7 @@ class ClassMgr {
   }
 
   /// Resolves a sym to its current normal form.
-  Sym Resolve(Sym s) {
+  Sym Resolve(Sym s) const {
     if (s.concrete()) return s;
     size_t r = Find(s.cls);
     if (!bound_[r].is_null()) return Sym{bound_[r], kNoClass};
@@ -131,6 +141,14 @@ struct SymRow {
 };
 
 /// Context shared across the translation of one group insertion.
+///
+/// Thread-safety contract for step 2 (the symbolic side-effect passes,
+/// which may run on a worker pool): everything below is frozen after step
+/// 1 and read concurrently, except (a) `candidates_examined` / `aborted`,
+/// which are atomics, (b) `gen_index`, whose lazily built per-subset
+/// indexes are guarded by `gen_index_mu` (the only lock the passes take),
+/// and (c) `negative_conditions`, which is only written by the
+/// coordinator when it merges the per-pass outputs in serial order.
 struct Translator {
   const ViewStore& store;
   const Database& base;
@@ -143,20 +161,29 @@ struct Translator {
   /// templates per base table (indices into `templates`).
   std::unordered_map<std::string, std::vector<size_t>> templates_by_table;
 
-  /// Lazily built per-(table, column) hash indexes over base rows.
+  /// Per-(table, column) hash indexes over base rows; prebuilt for every
+  /// column a rule condition can narrow on, read-only afterwards.
   std::map<std::pair<std::string, size_t>,
            std::unordered_map<Value, std::vector<const Tuple*>, ValueHash>>
       col_index;
 
   /// Lazily built gen-row indexes keyed by a subset of attr positions:
-  /// (view name, positions) -> attr-values -> gen rows.
+  /// (view name, positions) -> attr-values -> gen rows. Which subsets
+  /// appear depends on which params resolve concrete per candidate, so
+  /// these cannot be prebuilt; builds and lookups take `gen_index_mu`.
   std::map<std::pair<std::string, std::vector<size_t>>,
            std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash>>
       gen_index;
+  std::mutex gen_index_mu;
 
-  /// Lazily built attr -> id maps per element type (reverse gen index).
+  /// attr -> id maps per element type (reverse gen index); prebuilt for
+  /// every edge view's child type, read-only afterwards.
   std::map<std::string, std::unordered_map<Tuple, int64_t, TupleHash>>
       gen_reverse;
+
+  /// Slot index over the new templates (built once after step 1): the
+  /// narrowed replacement for the all-pairs template scan.
+  TemplateSlotIndex tmpl_slots;
 
   /// ∆V lookup: view -> set of (parent_id, projected row) keys.
   std::unordered_map<std::string, std::unordered_set<Tuple, TupleHash>>
@@ -166,7 +193,10 @@ struct Translator {
   /// side-effect condition φt (conjunction) to be negated.
   std::vector<std::vector<Atom>> negative_conditions;
 
-  size_t candidates_examined = 0;
+  std::atomic<size_t> candidates_examined{0};
+  /// Set on the first rejection so concurrent passes bail out early; never
+  /// set on accepted translations, keeping them deterministic.
+  std::atomic<bool> aborted{false};
 
   explicit Translator(const ViewStore& s, const Database& b,
                       const InsertOptions& o)
@@ -294,41 +324,99 @@ Tuple ExpectedKey(int64_t parent_id, const Tuple& projected) {
   return k;
 }
 
-/// Base rows of `table` whose column `col` equals `v` (lazy hash index).
-const std::vector<const Tuple*>* IndexLookup(Translator* t,
+/// Base rows of `table` whose column `col` equals `v`. Read-only: the
+/// index must have been prebuilt (PrebuildJoinIndexes covers every column
+/// a condition can narrow on); `known` reports whether it was.
+const std::vector<const Tuple*>* IndexLookup(const Translator& t,
                                              const std::string& table,
-                                             size_t col, const Value& v) {
-  auto key = std::make_pair(table, col);
-  auto it = t->col_index.find(key);
-  if (it == t->col_index.end()) {
-    auto& idx = t->col_index[key];
-    const Table* bt = t->base.GetTable(table);
-    bt->ForEach([&](const Tuple& row) { idx[row[col]].push_back(&row); });
-    it = t->col_index.find(key);
+                                             size_t col, const Value& v,
+                                             bool* known) {
+  auto it = t.col_index.find(std::make_pair(table, col));
+  if (it == t.col_index.end()) {
+    *known = false;
+    return nullptr;
   }
+  *known = true;
   auto vit = it->second.find(v);
   if (vit == it->second.end()) return nullptr;
   return &vit->second;
 }
 
-/// Whether (type, attr) already has a node id (reverse gen lookup).
-bool GenHasAttr(Translator* t, const std::string& type, const Tuple& attr,
-                int64_t* id_out) {
-  auto it = t->gen_reverse.find(type);
-  if (it == t->gen_reverse.end()) {
-    auto& rev = t->gen_reverse[type];
-    const Table* gt = t->store.db().GetTable(ViewStore::GenTableName(type));
-    if (gt != nullptr) {
-      gt->ForEach([&](const Tuple& row) {
-        rev.emplace(Tuple(row.begin() + 1, row.end()), row[0].as_int());
-      });
-    }
-    it = t->gen_reverse.find(type);
-  }
+/// Whether (type, attr) already has a node id (reverse gen lookup,
+/// prebuilt for every child type).
+bool GenHasAttr(const Translator& t, const std::string& type,
+                const Tuple& attr, int64_t* id_out) {
+  auto it = t.gen_reverse.find(type);
+  if (it == t.gen_reverse.end()) return false;
   auto vit = it->second.find(attr);
   if (vit == it->second.end()) return false;
   if (id_out != nullptr) *id_out = vit->second;
   return true;
+}
+
+/// Builds, before step 2 freezes the translator, every index the
+/// concurrent passes will read: base-row hash indexes for each (table,
+/// column) a narrowing condition of a participating view can probe, the
+/// reverse gen map of each participating view's child type, and the slot
+/// index over the new templates (slots resolved through the frozen
+/// classes, so a slot whose class was bound during template merging
+/// indexes as concrete). `views` is the set that actually contributes
+/// side-effect passes, so a translation touching one view does not pay
+/// for scanning the whole database.
+void PrebuildJoinIndexes(Translator* t,
+                         const std::vector<const EdgeViewInfo*>& views) {
+  auto ensure_col = [&](const std::string& table, size_t col) {
+    auto key = std::make_pair(table, col);
+    if (t->col_index.count(key) > 0) return;
+    auto& idx = t->col_index[key];
+    const Table* bt = t->base.GetTable(table);
+    if (bt == nullptr) return;
+    bt->ForEach([&](const Tuple& row) { idx[row[col]].push_back(&row); });
+  };
+  for (const EdgeViewInfo* info : views) {
+    const SpjQuery& q = info->rule;
+    for (const SpjCondition& c : q.conditions()) {
+      switch (c.kind) {
+        case SpjCondition::Kind::kColConst:
+          ensure_col(q.tables()[c.lhs.table_pos].table, c.lhs.col_idx);
+          break;
+        case SpjCondition::Kind::kColCol:
+          ensure_col(q.tables()[c.lhs.table_pos].table, c.lhs.col_idx);
+          ensure_col(q.tables()[c.rhs.table_pos].table, c.rhs.col_idx);
+          break;
+        case SpjCondition::Kind::kColParam:
+          // Narrows gen rows through gen_index, and — when another
+          // occurrence pins the same param — base rows of this column.
+          ensure_col(q.tables()[c.lhs.table_pos].table, c.lhs.col_idx);
+          break;
+      }
+    }
+    if (t->gen_reverse.count(info->child_type) == 0) {
+      auto& rev = t->gen_reverse[info->child_type];
+      const Table* gt =
+          t->store.db().GetTable(ViewStore::GenTableName(info->child_type));
+      if (gt != nullptr) {
+        gt->ForEach([&](const Tuple& row) {
+          rev.emplace(Tuple(row.begin() + 1, row.end()), row[0].as_int());
+        });
+      }
+    }
+  }
+  for (size_t ti = 0; ti < t->templates.size(); ++ti) {
+    const TupleTemplate& tmpl = t->templates[ti];
+    if (!tmpl.is_new) continue;
+    std::vector<std::optional<Value>> slots;
+    slots.reserve(tmpl.slots.size());
+    for (const Sym& s0 : tmpl.slots) {
+      Sym s = t->classes.Resolve(s0);
+      if (s.concrete()) {
+        slots.emplace_back(s.value);
+      } else {
+        slots.emplace_back(std::nullopt);
+      }
+    }
+    t->tmpl_slots.Add(tmpl.table, ti, slots);
+  }
 }
 
 /// Recursive symbolic join over the rule's FROM occurrences.
@@ -345,6 +433,10 @@ struct JoinFrame {
   std::vector<SymRow> assigned;
   std::vector<uint8_t> is_set;
   std::vector<Atom> atoms;
+  /// Where this pass's negated side-effect conditions go. Per-pass when
+  /// running on the pool, so passes never contend; the coordinator merges
+  /// the vectors in serial enumeration order.
+  std::vector<std::vector<Atom>>* out_conds = nullptr;
 };
 
 Status EmitCandidate(Translator* t, JoinFrame* f);
@@ -366,14 +458,15 @@ size_t FirePosition(const SpjCondition& c, size_t forced) {
 
 /// Checks/collects one condition over the currently assigned rows.
 /// Returns false when the condition is concretely violated.
-bool ApplyCondition(Translator* t, JoinFrame* f, const SpjCondition& c) {
+bool ApplyCondition(const Translator& t, JoinFrame* f,
+                    const SpjCondition& c) {
   if (c.kind == SpjCondition::Kind::kColParam) {
     return true;  // handled in EmitCandidate via the gen-parent match
   }
-  Sym l = t->classes.Resolve(f->assigned[c.lhs.table_pos].At(c.lhs.col_idx));
+  Sym l = t.classes.Resolve(f->assigned[c.lhs.table_pos].At(c.lhs.col_idx));
   Sym r = c.kind == SpjCondition::Kind::kColConst
               ? Sym{c.constant, kNoClass}
-              : t->classes.Resolve(
+              : t.classes.Resolve(
                     f->assigned[c.rhs.table_pos].At(c.rhs.col_idx));
   if (l.concrete() && r.concrete()) return l.value == r.value;
   if (!l.concrete() && !r.concrete() && l.cls == r.cls) return true;
@@ -385,7 +478,11 @@ Status JoinRec(Translator* t, JoinFrame* f, size_t occ) {
   const SpjQuery& q = f->info->rule;
   if (occ == q.tables().size()) return EmitCandidate(t, f);
   if (occ == f->forced) return JoinRec(t, f, occ + 1);  // pre-seeded
-  if (++t->candidates_examined > t->options.max_symbolic_candidates) {
+  if (t->aborted.load(std::memory_order_relaxed)) {
+    return Status::OK();  // another pass already rejected; result unused
+  }
+  if (t->candidates_examined.fetch_add(1, std::memory_order_relaxed) + 1 >
+      t->options.max_symbolic_candidates) {
     return Status::Rejected(
         "insertion side-effect analysis exceeded the work cap");
   }
@@ -402,7 +499,7 @@ Status JoinRec(Translator* t, JoinFrame* f, size_t occ) {
     f->is_set[occ] = 1;
     bool viable = true;
     for (const SpjCondition* c : conds) {
-      if (!ApplyCondition(t, f, *c)) {
+      if (!ApplyCondition(*t, f, *c)) {
         viable = false;
         break;
       }
@@ -417,11 +514,14 @@ Status JoinRec(Translator* t, JoinFrame* f, size_t occ) {
 
   // Base rows. Narrow with an index when some condition binds a column of
   // this occurrence to an already-filled concrete value (assigned, forced,
-  // or a constant).
+  // or a constant). The chosen (column, value) also narrows the template
+  // candidates below.
   auto filled = [&](size_t pos) {
     return pos == f->forced || (pos < occ && f->is_set[pos]);
   };
   bool have_narrow = false;
+  size_t narrow_col = 0;
+  Value narrow_val;
   const std::vector<const Tuple*>* narrowed = nullptr;
   for (const SpjCondition& c : q.conditions()) {
     size_t col = Schema::npos;
@@ -439,10 +539,37 @@ Status JoinRec(Translator* t, JoinFrame* f, size_t occ) {
         other = t->classes.Resolve(
             f->assigned[c.lhs.table_pos].At(c.lhs.col_idx));
       }
+    } else if (c.kind == SpjCondition::Kind::kColParam &&
+               c.lhs.table_pos == occ) {
+      // Param-mediated equality: a filled occurrence constrains the same
+      // parameter, so if its cell is concrete the parent's $A value is
+      // pinned and this occurrence's column must carry it too. Exact —
+      // EmitCandidate rejects every candidate whose concrete binds for
+      // one param disagree, so mismatching rows contribute nothing.
+      for (const SpjCondition& c2 : q.conditions()) {
+        if (&c2 == &c || c2.kind != SpjCondition::Kind::kColParam ||
+            c2.param_idx != c.param_idx || c2.lhs.table_pos == occ ||
+            !filled(c2.lhs.table_pos)) {
+          continue;
+        }
+        Sym s = t->classes.Resolve(
+            f->assigned[c2.lhs.table_pos].At(c2.lhs.col_idx));
+        if (s.concrete()) {
+          col = c.lhs.col_idx;
+          other = s;
+          break;
+        }
+      }
     }
     if (col != Schema::npos && other.concrete()) {
+      bool known = false;
+      const std::vector<const Tuple*>* rows =
+          IndexLookup(*t, table, col, other.value, &known);
+      if (!known) continue;  // defensive: column not prebuilt, skip
       have_narrow = true;
-      narrowed = IndexLookup(t, table, col, other.value);
+      narrow_col = col;
+      narrow_val = other.value;
+      narrowed = rows;
       if (narrowed == nullptr || narrowed->size() <= 4) break;
     }
   }
@@ -464,13 +591,24 @@ Status JoinRec(Translator* t, JoinFrame* f, size_t occ) {
 
   // New templates of this table (occurrences after `forced` may also draw
   // from U; before `forced`, base only — that combination is covered when
-  // that occurrence is itself the forced one).
+  // that occurrence is itself the forced one). With a narrowing condition
+  // the slot index prunes to the templates whose slot can still equal the
+  // narrow value (concrete match or free slot) — the all-pairs scan would
+  // have rejected every other template through the same condition, so the
+  // pruned enumeration is result-identical but near-linear in |∆V|.
   if (occ > f->forced) {
-    auto it = t->templates_by_table.find(table);
-    if (it != t->templates_by_table.end()) {
-      for (size_t ti : it->second) {
-        if (!t->templates[ti].is_new) continue;
+    if (t->options.use_template_index && have_narrow) {
+      for (size_t ti : t->tmpl_slots.Candidates(table, narrow_col,
+                                                narrow_val)) {
         XVU_RETURN_NOT_OK(try_row(SymRow{nullptr, &t->templates[ti]}));
+      }
+    } else {
+      auto it = t->templates_by_table.find(table);
+      if (it != t->templates_by_table.end()) {
+        for (size_t ti : it->second) {
+          if (!t->templates[ti].is_new) continue;
+          XVU_RETURN_NOT_OK(try_row(SymRow{nullptr, &t->templates[ti]}));
+        }
       }
     }
   }
@@ -494,6 +632,15 @@ Status EmitCandidate(Translator* t, JoinFrame* f) {
     Sym s = t->classes.Resolve(
         f->assigned[c.lhs.table_pos].At(c.lhs.col_idx));
     binds.push_back(ParamBind{c.param_idx, s});
+  }
+  if (t->aborted.load(std::memory_order_relaxed)) return Status::OK();
+  // A complete assignment is a unit of symbolic work too (without the
+  // template index the cross-template pairs all land here), so it counts
+  // against the cap like the join steps above.
+  if (t->candidates_examined.fetch_add(1, std::memory_order_relaxed) + 1 >
+      t->options.max_symbolic_candidates) {
+    return Status::Rejected(
+        "insertion side-effect analysis exceeded the work cap");
   }
 
   const Table* gt =
@@ -547,9 +694,16 @@ Status EmitCandidate(Translator* t, JoinFrame* f) {
     }
   }
 
-  std::vector<const Tuple*> parents;
+  const std::vector<const Tuple*>* parents = nullptr;
+  std::vector<const Tuple*> all_parents;  // unnarrowed fallback
+  static const std::vector<const Tuple*> kNoParents;
   if (!concrete_pos.empty()) {
     auto key = std::make_pair(info.name, concrete_pos);
+    // Build-or-lookup under the lock. Holding a pointer to the bucket
+    // past the critical section is safe: a bucket is fully built in one
+    // go and never mutated again, and neither map rehashing nor sibling
+    // inserts move node-based entries.
+    std::lock_guard<std::mutex> lock(t->gen_index_mu);
     auto iit = t->gen_index.find(key);
     if (iit == t->gen_index.end()) {
       auto& idx = t->gen_index[key];
@@ -562,16 +716,18 @@ Status EmitCandidate(Translator* t, JoinFrame* f) {
       iit = t->gen_index.find(key);
     }
     auto vit = iit->second.find(concrete_vals);
-    if (vit != iit->second.end()) parents = vit->second;
+    parents = vit != iit->second.end() ? &vit->second : &kNoParents;
   } else {
-    gt->ForEach([&](const Tuple& row) { parents.push_back(&row); });
+    gt->ForEach([&](const Tuple& row) { all_parents.push_back(&row); });
+    parents = &all_parents;
   }
 
   Status st = Status::OK();
-  for (const Tuple* gp : parents) {
+  for (const Tuple* gp : *parents) {
     const Tuple& gen_row = *gp;
     if (!st.ok()) break;
-    if (++t->candidates_examined > t->options.max_symbolic_candidates) {
+    if (t->candidates_examined.fetch_add(1, std::memory_order_relaxed) + 1 >
+        t->options.max_symbolic_candidates) {
       st = Status::Rejected(
           "insertion side-effect analysis exceeded the work cap");
       break;
@@ -606,7 +762,7 @@ Status EmitCandidate(Translator* t, JoinFrame* f) {
                  proj.begin() + static_cast<std::ptrdiff_t>(info.attr_arity));
       int64_t child_id = 0;
       bool in_view = false;
-      if (GenHasAttr(t, info.child_type, attr, &child_id)) {
+      if (GenHasAttr(*t, info.child_type, attr, &child_id)) {
         const Table* vt = t->store.db().GetTable(info.name);
         Tuple full = ViewStore::MakeEdgeRow(parent_id, child_id, proj);
         in_view = vt != nullptr && vt->FindByKey(full) != nullptr;
@@ -641,7 +797,7 @@ Status EmitCandidate(Translator* t, JoinFrame* f) {
           info.name);
       break;
     }
-    t->negative_conditions.push_back(std::move(atoms));
+    f->out_conds->push_back(std::move(atoms));
   }
   return st;
 }
@@ -682,7 +838,8 @@ class FreshValues {
 
 Result<InsertTranslation> TranslateGroupInsertion(
     const ViewStore& store, const Database& base,
-    const std::vector<ViewRowOp>& insertions, const InsertOptions& options) {
+    const std::vector<ViewRowOp>& insertions, const InsertOptions& options,
+    ThreadPool* pool) {
   Translator t(store, base, options);
   InsertTranslation out;
 
@@ -716,35 +873,77 @@ Result<InsertTranslation> TranslateGroupInsertion(
   }
 
   // Step 2: symbolic side-effect evaluation — for every view and every
-  // choice of "first occurrence drawing from U".
+  // choice of "first occurrence drawing from U". Each (view, forced
+  // occurrence, new template) pass reads only state frozen above (plus
+  // the mutex-guarded gen_index), so the passes fan out on the worker
+  // pool when one is given; per-pass outputs land in per-task slots and
+  // are merged below in this serial enumeration order, keeping the CNF —
+  // and hence the whole translation — bit-identical to a serial run.
+  struct SymTask {
+    const EdgeViewInfo* info;
+    size_t forced;
+    size_t tmpl;
+  };
+  std::vector<SymTask> tasks;
+  std::vector<const EdgeViewInfo*> task_views;
   for (const std::string& vname : store.EdgeViewNames()) {
     const EdgeViewInfo* info = store.GetEdgeView(vname);
     const SpjQuery& q = info->rule;
+    size_t before = tasks.size();
     for (size_t forced = 0; forced < q.tables().size(); ++forced) {
       auto it = t.templates_by_table.find(q.tables()[forced].table);
       if (it == t.templates_by_table.end()) continue;
       for (size_t ti : it->second) {
         if (!t.templates[ti].is_new) continue;
-        JoinFrame f;
-        f.info = info;
-        f.forced = forced;
-        f.assigned.assign(q.tables().size(), SymRow{});
-        f.is_set.assign(q.tables().size(), 0);
-        f.assigned[forced] = SymRow{nullptr, &t.templates[ti]};
-        f.is_set[forced] = 1;
-        // Conditions entirely within the forced occurrence fire now.
-        bool viable = true;
-        for (const SpjCondition& c : q.conditions()) {
-          if (FirePosition(c, forced) == static_cast<size_t>(-1) &&
-              !ApplyCondition(&t, &f, c)) {
-            viable = false;
-            break;
-          }
-        }
-        if (viable) XVU_RETURN_NOT_OK(JoinRec(&t, &f, 0));
+        tasks.push_back(SymTask{info, forced, ti});
       }
     }
+    if (tasks.size() > before) task_views.push_back(info);
   }
+  PrebuildJoinIndexes(&t, task_views);
+  out.num_tasks = tasks.size();
+  std::vector<Status> task_status(tasks.size());
+  std::vector<std::vector<std::vector<Atom>>> task_conds(tasks.size());
+  ParallelFor(pool, tasks.size(), [&](size_t k) {
+    if (t.aborted.load(std::memory_order_relaxed)) return;
+    const SymTask& task = tasks[k];
+    const SpjQuery& q = task.info->rule;
+    JoinFrame f;
+    f.info = task.info;
+    f.forced = task.forced;
+    f.out_conds = &task_conds[k];
+    f.assigned.assign(q.tables().size(), SymRow{});
+    f.is_set.assign(q.tables().size(), 0);
+    f.assigned[task.forced] = SymRow{nullptr, &t.templates[task.tmpl]};
+    f.is_set[task.forced] = 1;
+    // Conditions entirely within the forced occurrence fire now.
+    bool viable = true;
+    for (const SpjCondition& c : q.conditions()) {
+      if (FirePosition(c, task.forced) == static_cast<size_t>(-1) &&
+          !ApplyCondition(t, &f, c)) {
+        viable = false;
+        break;
+      }
+    }
+    if (!viable) return;
+    Status st = JoinRec(&t, &f, 0);
+    if (!st.ok()) {
+      task_status[k] = std::move(st);
+      t.aborted.store(true, std::memory_order_relaxed);
+    }
+  });
+  // First error in serial task order wins (a work-cap rejection racing a
+  // concrete side effect may surface either — both reject the batch).
+  for (const Status& st : task_status) XVU_RETURN_NOT_OK(st);
+  size_t total_conds = 0;
+  for (const auto& conds : task_conds) total_conds += conds.size();
+  t.negative_conditions.reserve(total_conds);
+  for (auto& conds : task_conds) {
+    for (auto& cond : conds) {
+      t.negative_conditions.push_back(std::move(cond));
+    }
+  }
+  out.num_candidates = t.candidates_examined.load();
 
   // Step 3: CNF encoding over the finite-domain free classes.
   FiniteDomainEncoder enc;

@@ -11,6 +11,8 @@
 
 namespace xvu {
 
+class ThreadPool;
+
 struct InsertOptions {
   /// Solve the side-effect encoding with WalkSAT (the paper's choice).
   bool use_walksat = true;
@@ -20,6 +22,13 @@ struct InsertOptions {
   WalkSatOptions walksat;
   /// Safety cap on symbolic join work; exceeded => Rejected.
   size_t max_symbolic_candidates = 200000;
+  /// Narrow the symbolic join's template candidates through a hash index
+  /// keyed on (table, column) -> concrete slot value (TemplateSlotIndex)
+  /// instead of trying every new template against every occurrence
+  /// (all-pairs, quadratic in |∆V|). Results are identical — the index
+  /// only skips templates whose concrete slot fails the same equality the
+  /// join condition would have checked. Disable for A/B benchmarking only.
+  bool use_template_index = true;
 };
 
 /// Statistics and result of a group-insertion translation.
@@ -29,6 +38,8 @@ struct InsertTranslation {
   size_t num_variables = 0;    ///< finite-domain variables encoded
   size_t num_sat_vars = 0;     ///< propositional variables
   size_t num_sat_clauses = 0;  ///< CNF clauses
+  size_t num_tasks = 0;        ///< independent symbolic side-effect passes
+  size_t num_candidates = 0;   ///< symbolic join work items examined
   bool used_sat = false;       ///< a solver run was needed
 };
 
@@ -49,7 +60,11 @@ struct InsertTranslation {
 ///     by a condition with an infinite-domain free variable is avoided by
 ///     assigning fresh values (case (b)); one guarded only by
 ///     finite-domain variables contributes the negated condition ¬φt to
-///     the CNF (case (c)).
+///     the CNF (case (c)). Each (view, forced occurrence, new template)
+///     pass is independent — all shared state is frozen after step 1 — so
+///     when `pool` is non-null the passes run concurrently, with per-pass
+///     outputs merged in the serial enumeration order (bit-identical
+///     results for any worker count).
 ///  3. SAT: solve with WalkSAT (Theorem 4 gives the correspondence);
 ///     reject when no assignment is found.
 ///  4. ∆R derivation: instantiate the new templates from the model; free
@@ -58,7 +73,7 @@ struct InsertTranslation {
 Result<InsertTranslation> TranslateGroupInsertion(
     const ViewStore& store, const Database& base,
     const std::vector<ViewRowOp>& insertions,
-    const InsertOptions& options = {});
+    const InsertOptions& options = {}, ThreadPool* pool = nullptr);
 
 }  // namespace xvu
 

@@ -1,0 +1,50 @@
+#include "src/viewupdate/template_index.h"
+
+#include <algorithm>
+
+namespace xvu {
+
+const std::vector<size_t> TemplateSlotIndex::kEmpty;
+
+void TemplateSlotIndex::Add(const std::string& table, size_t id,
+                            const std::vector<std::optional<Value>>& slots) {
+  PerTable& t = tables_[table];
+  if (t.by_value.size() < slots.size()) {
+    t.by_value.resize(slots.size());
+    t.free_slots.resize(slots.size());
+  }
+  t.all.push_back(id);
+  for (size_t c = 0; c < slots.size(); ++c) {
+    if (slots[c].has_value()) {
+      t.by_value[c][*slots[c]].push_back(id);
+    } else {
+      t.free_slots[c].push_back(id);
+    }
+  }
+  ++size_;
+}
+
+std::vector<size_t> TemplateSlotIndex::Candidates(const std::string& table,
+                                                  size_t col,
+                                                  const Value& v) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end() || col >= it->second.by_value.size()) return {};
+  const PerTable& t = it->second;
+  const std::vector<size_t>* exact = &kEmpty;
+  auto vit = t.by_value[col].find(v);
+  if (vit != t.by_value[col].end()) exact = &vit->second;
+  const std::vector<size_t>& free = t.free_slots[col];
+  std::vector<size_t> out;
+  out.reserve(exact->size() + free.size());
+  std::merge(exact->begin(), exact->end(), free.begin(), free.end(),
+             std::back_inserter(out));
+  return out;
+}
+
+const std::vector<size_t>& TemplateSlotIndex::All(
+    const std::string& table) const {
+  auto it = tables_.find(table);
+  return it == tables_.end() ? kEmpty : it->second.all;
+}
+
+}  // namespace xvu

@@ -1,0 +1,75 @@
+#ifndef XVU_VIEWUPDATE_TEMPLATE_INDEX_H_
+#define XVU_VIEWUPDATE_TEMPLATE_INDEX_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace xvu {
+
+/// Hash index over the tuple templates of one group-insertion translation,
+/// keyed on (table, column slot) -> concrete slot value.
+///
+/// The symbolic side-effect pass joins every view rule against the new
+/// templates; done naively each template is tried against every other
+/// (all-pairs), which makes the candidate set grow quadratically with
+/// |∆V|. When the join has a narrowing condition binding a column of the
+/// current occurrence to an already-concrete value, Candidates() returns
+/// exactly the templates that can satisfy it — the ones whose slot holds
+/// that concrete value, plus the ones whose slot is still symbolic (a free
+/// slot can unify with anything, so it is never pruned) — bringing
+/// candidate generation back to near-linear in |∆V|.
+///
+/// Rows must be registered in increasing id order; every candidate list
+/// preserves it, so an indexed enumeration visits the surviving templates
+/// in exactly the order the all-pairs scan would have, keeping downstream
+/// results (CNF clause order, rejection messages) bit-identical.
+///
+/// The index is immutable after construction; concurrent Candidates()/All()
+/// calls from the pooled side-effect passes are safe.
+class TemplateSlotIndex {
+ public:
+  struct ValueHash {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+
+  /// Registers row `id` of `table`. slots[c] carries the concrete value of
+  /// column c, or nullopt when the slot is symbolic (free). Ids must be
+  /// strictly increasing per table.
+  void Add(const std::string& table, size_t id,
+           const std::vector<std::optional<Value>>& slots);
+
+  /// Rows of `table` that can satisfy slot[col] == v: concrete matches
+  /// merged with the free-slot rows, in id order. Exact with respect to a
+  /// per-row equality check — a returned row either matches concretely or
+  /// is free at `col`; no matching row is ever missing.
+  std::vector<size_t> Candidates(const std::string& table, size_t col,
+                                 const Value& v) const;
+
+  /// All rows of `table`, in id order (the unnarrowed fallback).
+  const std::vector<size_t>& All(const std::string& table) const;
+
+  /// Total rows registered.
+  size_t size() const { return size_; }
+
+ private:
+  struct PerTable {
+    std::vector<size_t> all;
+    /// by_value[col][v] = ids with concrete slot v at col, increasing.
+    std::vector<std::unordered_map<Value, std::vector<size_t>, ValueHash>>
+        by_value;
+    /// free_slots[col] = ids whose slot at col is symbolic, increasing.
+    std::vector<std::vector<size_t>> free_slots;
+  };
+  std::unordered_map<std::string, PerTable> tables_;
+  size_t size_ = 0;
+
+  static const std::vector<size_t> kEmpty;
+};
+
+}  // namespace xvu
+
+#endif  // XVU_VIEWUPDATE_TEMPLATE_INDEX_H_

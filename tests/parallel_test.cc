@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/core/pipeline.h"
+#include "src/core/system.h"
+#include "src/workload/registrar.h"
+#include "src/xpath/parser.h"
+
+namespace xvu {
+namespace {
+
+Value S(const char* s) { return Value::Str(s); }
+
+Path P(const std::string& xpath) {
+  auto p = ParseXPath(xpath);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return *p;
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (size_t workers : {1, 2, 4, 8}) {
+    ThreadPool pool(workers);
+    EXPECT_EQ(pool.workers(), workers);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.ParallelFor(hits.size(),
+                     [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << ", " << workers
+                                   << " workers";
+    }
+  }
+}
+
+TEST(ThreadPool, HandlesEmptyAndSingleElementLoops) {
+  ThreadPool pool(4);
+  size_t calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ThreadPool, BackToBackJobsReuseTheWorkers) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(64, [&](size_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 64u * 63u / 2);
+  }
+}
+
+TEST(ThreadPool, FreeFunctionRunsSeriallyWithoutPool) {
+  std::vector<int> order;
+  ParallelFor(nullptr, 5, [&](size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+// ---------------------------------------------------------------------------
+// PathEvalCache recency-based eviction
+// ---------------------------------------------------------------------------
+
+TEST(PathEvalCache, CompactEvictsOldestVersionsFirst) {
+  PathEvalCache cache;
+  for (uint64_t v = 1; v <= 5; ++v) {
+    EvalResult r;
+    r.selected = {static_cast<NodeId>(v)};
+    cache.Store("p" + std::to_string(v), v, std::move(r));
+  }
+  EXPECT_EQ(cache.size(), 5u);
+  cache.Compact(2);
+  EXPECT_EQ(cache.size(), 2u);
+  // The two newest versions survive.
+  EXPECT_NE(cache.Lookup("p5", 5), nullptr);
+  EXPECT_NE(cache.Lookup("p4", 4), nullptr);
+  EXPECT_EQ(cache.Lookup("p1", 1), nullptr);
+}
+
+TEST(PathEvalCache, RestoringAnEntryMovesItToTheBack) {
+  PathEvalCache cache;
+  for (uint64_t v = 1; v <= 3; ++v) {
+    EvalResult r;
+    cache.Store("p" + std::to_string(v), v, std::move(r));
+  }
+  // Re-store p1 at a newer version: it becomes the newest entry.
+  EvalResult r;
+  cache.Store("p1", 9, std::move(r));
+  cache.Compact(1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.Lookup("p1", 9), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel ApplyBatch determinism
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<UpdateSystem> MakeSystem(size_t worker_threads) {
+  auto db = MakeRegistrarDatabase();
+  EXPECT_TRUE(db.ok());
+  EXPECT_TRUE(LoadRegistrarSample(&*db).ok());
+  auto atg = MakeRegistrarAtg(*db);
+  EXPECT_TRUE(atg.ok());
+  UpdateSystem::Options options;
+  options.worker_threads = worker_threads;
+  auto sys = UpdateSystem::Create(std::move(*atg), std::move(*db), options);
+  EXPECT_TRUE(sys.ok()) << sys.status().ToString();
+  return std::move(*sys);
+}
+
+void ExpectIdentical(const UpdateSystem& a, const UpdateSystem& b,
+                     const std::string& ctx) {
+  ASSERT_EQ(a.dag().CanonicalEdges(), b.dag().CanonicalEdges()) << ctx;
+  ASSERT_EQ(a.database().TotalRows(), b.database().TotalRows()) << ctx;
+  ASSERT_TRUE(a.reachability() == b.reachability()) << ctx;
+  ASSERT_EQ(a.topo().order(), b.topo().order()) << ctx;
+  ASSERT_EQ(a.eval_cache().DebugFingerprint(),
+            b.eval_cache().DebugFingerprint())
+      << ctx;
+  const UpdateStats& sa = a.last_stats();
+  const UpdateStats& sb = b.last_stats();
+  EXPECT_EQ(sa.selected, sb.selected) << ctx;
+  EXPECT_EQ(sa.delta_v, sb.delta_v) << ctx;
+  EXPECT_EQ(sa.delta_r, sb.delta_r) << ctx;
+  EXPECT_EQ(sa.distinct_paths, sb.distinct_paths) << ctx;
+  EXPECT_EQ(sa.dedup_ops, sb.dedup_ops) << ctx;
+  EXPECT_EQ(sa.xpath_evaluations, sb.xpath_evaluations) << ctx;
+  EXPECT_EQ(sa.xpath_cache_hits, sb.xpath_cache_hits) << ctx;
+  EXPECT_EQ(sa.delta_patches, sb.delta_patches) << ctx;
+  EXPECT_EQ(sa.fallback_evals, sb.fallback_evals) << ctx;
+  EXPECT_EQ(sa.symbolic_tasks, sb.symbolic_tasks) << ctx;
+  EXPECT_EQ(sa.symbolic_candidates, sb.symbolic_candidates) << ctx;
+  EXPECT_EQ(sa.used_sat, sb.used_sat) << ctx;
+  EXPECT_EQ(sa.parent_edges, sb.parent_edges) << ctx;
+}
+
+/// Randomized determinism fuzz: identical random batches through
+/// ApplyBatch with 1/2/4/8 worker lanes must leave every system —
+/// view, base, M, L, stats, and the eval cache's full contents —
+/// bit-identical, batch after batch, whether the batch is accepted or
+/// rejected.
+TEST(ParallelFuzz, WorkerCountsProduceBitIdenticalResults) {
+  const size_t kWorkers[] = {1, 2, 4, 8};
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    std::vector<std::unique_ptr<UpdateSystem>> systems;
+    for (size_t w : kWorkers) systems.push_back(MakeSystem(w));
+
+    const char* kCnos[] = {"CS650", "CS320", "CS240", "CS140"};
+    Rng rng(seed);
+    std::vector<std::string> inserted_ssns;
+    int64_t uid = 1000 + static_cast<int64_t>(seed) * 1000;
+    for (int round = 0; round < 15; ++round) {
+      UpdateBatch batch;
+      size_t count = 1 + rng.Below(4);
+      for (size_t k = 0; k < count; ++k) {
+        if (!inserted_ssns.empty() && rng.Chance(0.3)) {
+          size_t at = rng.Below(inserted_ssns.size());
+          batch.Delete(P("//student[ssn=\"" + inserted_ssns[at] + "\"]"));
+          inserted_ssns.erase(inserted_ssns.begin() +
+                              static_cast<std::ptrdiff_t>(at));
+        } else {
+          std::string ssn = "S" + std::to_string(uid++);
+          const char* cno = kCnos[rng.Below(4)];
+          batch.Insert("student", {S(ssn.c_str()), S("Par")},
+                       P(std::string("//course[cno=\"") + cno +
+                         "\"]/takenBy"));
+          inserted_ssns.push_back(ssn);
+        }
+      }
+      Status first = systems[0]->ApplyBatch(batch);
+      for (size_t i = 1; i < systems.size(); ++i) {
+        Status st = systems[i]->ApplyBatch(batch);
+        ASSERT_EQ(first.ok(), st.ok())
+            << "seed " << seed << " round " << round << ": "
+            << first.ToString() << " vs " << st.ToString();
+      }
+      for (size_t i = 1; i < systems.size(); ++i) {
+        ExpectIdentical(*systems[0], *systems[i],
+                        "seed " + std::to_string(seed) + " round " +
+                            std::to_string(round) + " workers " +
+                            std::to_string(kWorkers[i]));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dedupe of ops sharing a normal-form key
+// ---------------------------------------------------------------------------
+
+TEST(ParallelBatch, DuplicatePathsCostOneProbe) {
+  auto sys = MakeSystem(4);
+  UpdateBatch batch;
+  for (int i = 0; i < 6; ++i) {
+    batch.Insert("student", {S(("D" + std::to_string(i)).c_str()), S("Dup")},
+                 P("//course[cno=\"CS650\"]/takenBy"));
+  }
+  // A second distinct path in the same batch.
+  batch.Insert("student", {S("D6"), S("Dup")},
+               P("//course[cno=\"CS320\"]/takenBy"));
+  ASSERT_TRUE(sys->ApplyBatch(batch).ok());
+  const UpdateStats& st = sys->last_stats();
+  EXPECT_EQ(st.batch_ops, 7u);
+  EXPECT_EQ(st.distinct_paths, 2u);
+  EXPECT_EQ(st.dedup_ops, 5u);
+  EXPECT_EQ(st.xpath_evaluations, 2u);
+  EXPECT_EQ(st.xpath_cache_hits, 5u);  // every duplicate counts as a hit
+  EXPECT_EQ(st.workers, 4u);
+  EXPECT_EQ(st.parallel_eval_tasks, 2u);
+}
+
+}  // namespace
+}  // namespace xvu
