@@ -398,6 +398,9 @@ std::string RenderRule(const SpjQuery& q, const Database& catalog,
       case SpjCondition::Kind::kColCol:
         where.push_back(lhs + " = " + col_name(c.rhs));
         break;
+      case SpjCondition::Kind::kColColNe:
+        where.push_back(lhs + " != " + col_name(c.rhs));
+        break;
       case SpjCondition::Kind::kColConst: {
         std::string v;
         switch (c.constant.type()) {

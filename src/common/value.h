@@ -57,6 +57,11 @@ class Value {
   Payload v_;
 };
 
+/// Hash functor for single values (keys of per-column indexes).
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
 /// A row: a fixed-arity sequence of values.
 using Tuple = std::vector<Value>;
 

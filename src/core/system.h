@@ -27,7 +27,10 @@ enum class SideEffectPolicy { kAbort, kProceed };
 
 /// Per-update timing and size statistics, matching the breakdown reported
 /// in Fig.11: (a) XPath evaluation, (b) translation ∆X→∆V→∆R plus update
-/// execution, (c) auxiliary-structure maintenance (backgroundable).
+/// execution, (c) auxiliary-structure maintenance. Maintenance currently
+/// runs synchronously inside the pipeline; moving it to a background
+/// worker behind a version cursor is an open ROADMAP item ("Async
+/// maintenance service", see also docs/architecture.md §Maintenance).
 struct UpdateStats {
   double xpath_seconds = 0;
   double translate_seconds = 0;

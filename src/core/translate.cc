@@ -64,6 +64,8 @@ Result<Tuple> DeriveEdgeRowOutputs(const EdgeViewInfo& info,
       case SpjCondition::Kind::kColCol:
         XVU_RETURN_NOT_OK(unite(lc, cells[c.rhs.table_pos][c.rhs.col_idx]));
         break;
+      case SpjCondition::Kind::kColColNe:
+        break;  // derives nothing; rejected in view rules at registration
     }
   }
   // The leading outputs are the child's attribute.

@@ -35,9 +35,11 @@ const char* MaintenanceStrategyName(MaintenanceStrategy s);
 /// (`maintained_version`). A batch's mutations land in the DagView's ∆V
 /// journal; MaintainBatch then either replays `JournalSince(
 /// maintained_version)` incrementally or rebuilds wholesale, per strategy.
-/// Because each replay is driven purely by the journal window, it is a
-/// well-defined unit of work that a background worker thread could execute
-/// (see ROADMAP).
+/// Each replay is driven purely by its journal window, so it is a
+/// self-contained unit of work; today it always runs synchronously in the
+/// update pipeline. Executing it on a background worker behind a version
+/// cursor is designed but not implemented — ROADMAP "Async maintenance
+/// service" and docs/architecture.md §Maintenance track it.
 class MaintenanceEngine {
  public:
   struct BatchOptions {

@@ -19,11 +19,21 @@ struct Binding {
 }  // namespace
 
 Result<std::vector<SpjQuery::WitnessedRow>> SpjQuery::EvalWithWitness(
-    const Database& db, const Tuple& params) const {
-  return EvalWithWitnessPinned(db, params, static_cast<size_t>(-1), {});
+    const Database& db, const Tuple& params,
+    const SpjExecOptions& opts) const {
+  return EvalWithWitnessPinned(db, params, static_cast<size_t>(-1), {}, opts);
 }
 
 Result<std::vector<SpjQuery::WitnessedRow>> SpjQuery::EvalWithWitnessPinned(
+    const Database& db, const Tuple& params, size_t pinned_pos,
+    const Tuple& pinned_row, const SpjExecOptions& opts) const {
+  if (opts.backend == SpjExecOptions::Backend::kNestedLoop) {
+    return EvalPinnedNestedLoop(db, params, pinned_pos, pinned_row);
+  }
+  return EvalPinnedHashJoin(db, params, pinned_pos, pinned_row, opts);
+}
+
+Result<std::vector<SpjQuery::WitnessedRow>> SpjQuery::EvalPinnedNestedLoop(
     const Database& db, const Tuple& params, size_t pinned_pos,
     const Tuple& pinned_row) const {
   if (params.size() < num_params_) {
@@ -44,7 +54,8 @@ Result<std::vector<SpjQuery::WitnessedRow>> SpjQuery::EvalWithWitnessPinned(
   std::vector<std::vector<const SpjCondition*>> conds_at(tables_.size());
   for (const SpjCondition& c : conditions_) {
     size_t pos = c.lhs.table_pos;
-    if (c.kind == SpjCondition::Kind::kColCol) {
+    if (c.kind == SpjCondition::Kind::kColCol ||
+        c.kind == SpjCondition::Kind::kColColNe) {
       pos = std::max(pos, c.rhs.table_pos);
     }
     conds_at[pos].push_back(&c);
@@ -54,12 +65,15 @@ Result<std::vector<SpjQuery::WitnessedRow>> SpjQuery::EvalWithWitnessPinned(
   for (size_t i = 0; i < tables_.size() && !partial.empty(); ++i) {
     // Split this position's conditions into:
     //  local: only reference position i (+ consts/params) — filter rows;
-    //  link:  equi-join with an earlier position — drive the hash join.
-    std::vector<const SpjCondition*> local, link;
+    //  link:  equi-join with an earlier position — drive the hash join;
+    //  post:  cross-position != — filter each joined binding.
+    std::vector<const SpjCondition*> local, link, post;
     for (const SpjCondition* c : conds_at[i]) {
-      if (c->kind == SpjCondition::Kind::kColCol &&
-          c->lhs.table_pos != c->rhs.table_pos) {
+      bool cross = c->lhs.table_pos != c->rhs.table_pos;
+      if (c->kind == SpjCondition::Kind::kColCol && cross) {
         link.push_back(c);
+      } else if (c->kind == SpjCondition::Kind::kColColNe && cross) {
+        post.push_back(c);
       } else {
         local.push_back(c);
       }
@@ -71,12 +85,24 @@ Result<std::vector<SpjQuery::WitnessedRow>> SpjQuery::EvalWithWitnessPinned(
           case SpjCondition::Kind::kColCol:
             if (l != row[c->rhs.col_idx]) return false;
             break;
+          case SpjCondition::Kind::kColColNe:
+            if (l == row[c->rhs.col_idx]) return false;
+            break;
           case SpjCondition::Kind::kColConst:
             if (l != c->constant) return false;
             break;
           case SpjCondition::Kind::kColParam:
             if (l != params[c->param_idx]) return false;
             break;
+        }
+      }
+      return true;
+    };
+    auto binding_passes_post = [&](const Binding& b) {
+      for (const SpjCondition* c : post) {
+        if ((*b.rows[c->lhs.table_pos])[c->lhs.col_idx] ==
+            (*b.rows[c->rhs.table_pos])[c->rhs.col_idx]) {
+          return false;
         }
       }
       return true;
@@ -104,6 +130,7 @@ Result<std::vector<SpjQuery::WitnessedRow>> SpjQuery::EvalWithWitnessPinned(
         for (const Tuple* r : filtered) {
           Binding nb = b;
           nb.rows.push_back(r);
+          if (!binding_passes_post(nb)) continue;
           next.push_back(std::move(nb));
         }
       }
@@ -141,6 +168,7 @@ Result<std::vector<SpjQuery::WitnessedRow>> SpjQuery::EvalWithWitnessPinned(
         for (const Tuple* r : it->second) {
           Binding nb = b;
           nb.rows.push_back(r);
+          if (!binding_passes_post(nb)) continue;
           next.push_back(std::move(nb));
         }
       }
@@ -165,14 +193,16 @@ Result<std::vector<SpjQuery::WitnessedRow>> SpjQuery::EvalWithWitnessPinned(
 
 Result<std::unordered_map<Tuple, std::vector<SpjQuery::WitnessedRow>,
                           TupleHash>>
-SpjQuery::EvalGroupedByParams(const Database& db) const {
-  return EvalGroupedByParamsPinned(db, static_cast<size_t>(-1), {});
+SpjQuery::EvalGroupedByParams(const Database& db,
+                              const SpjExecOptions& opts) const {
+  return EvalGroupedByParamsPinned(db, static_cast<size_t>(-1), {}, opts);
 }
 
 Result<std::unordered_map<Tuple, std::vector<SpjQuery::WitnessedRow>,
                           TupleHash>>
 SpjQuery::EvalGroupedByParamsPinned(const Database& db, size_t pinned_pos,
-                                    const Tuple& pinned_row) const {
+                                    const Tuple& pinned_row,
+                                    const SpjExecOptions& opts) const {
   // Build the param-free variant: strip kColParam predicates, remember
   // which column realizes each parameter (extra predicates on the same
   // parameter become post-join equality filters).
@@ -208,7 +238,7 @@ SpjQuery::EvalGroupedByParamsPinned(const Database& db, size_t pinned_pos,
   }
   XVU_ASSIGN_OR_RETURN(
       std::vector<WitnessedRow> rows,
-      q.EvalWithWitnessPinned(db, {}, pinned_pos, pinned_row));
+      q.EvalWithWitnessPinned(db, {}, pinned_pos, pinned_row, opts));
   std::unordered_map<Tuple, std::vector<WitnessedRow>, TupleHash> grouped;
   for (WitnessedRow& wr : rows) {
     Tuple key;
@@ -222,9 +252,10 @@ SpjQuery::EvalGroupedByParamsPinned(const Database& db, size_t pinned_pos,
 }
 
 Result<std::vector<Tuple>> SpjQuery::Eval(const Database& db,
-                                          const Tuple& params) const {
+                                          const Tuple& params,
+                                          const SpjExecOptions& opts) const {
   XVU_ASSIGN_OR_RETURN(std::vector<WitnessedRow> rows,
-                       EvalWithWitness(db, params));
+                       EvalWithWitness(db, params, opts));
   std::unordered_set<Tuple, TupleHash> seen;
   std::vector<Tuple> out;
   out.reserve(rows.size());
@@ -319,6 +350,10 @@ std::string SpjQuery::ToString() const {
         where.push_back(lhs + " = " + tables_[c.rhs.table_pos].alias + ".c" +
                         std::to_string(c.rhs.col_idx));
         break;
+      case SpjCondition::Kind::kColColNe:
+        where.push_back(lhs + " != " + tables_[c.rhs.table_pos].alias + ".c" +
+                        std::to_string(c.rhs.col_idx));
+        break;
       case SpjCondition::Kind::kColConst:
         where.push_back(lhs + " = " + c.constant.ToString());
         break;
@@ -376,6 +411,21 @@ SpjQueryBuilder& SpjQueryBuilder::WhereEq(const std::string& lhs,
   if (!r.ok()) { error_ = r.status(); return *this; }
   SpjCondition c;
   c.kind = SpjCondition::Kind::kColCol;
+  c.lhs = *l;
+  c.rhs = *r;
+  q_.conditions_.push_back(c);
+  return *this;
+}
+
+SpjQueryBuilder& SpjQueryBuilder::WhereNe(const std::string& lhs,
+                                          const std::string& rhs) {
+  if (!error_.ok()) return *this;
+  auto l = Resolve(lhs);
+  auto r = Resolve(rhs);
+  if (!l.ok()) { error_ = l.status(); return *this; }
+  if (!r.ok()) { error_ = r.status(); return *this; }
+  SpjCondition c;
+  c.kind = SpjCondition::Kind::kColColNe;
   c.lhs = *l;
   c.rhs = *r;
   q_.conditions_.push_back(c);

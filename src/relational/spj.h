@@ -23,12 +23,16 @@ struct SpjColRef {
   }
 };
 
-/// One equality predicate of an SPJ selection condition.
+/// One predicate of an SPJ selection condition.
 struct SpjCondition {
   enum class Kind {
     kColCol,    ///< lhs = rhs (join or intra-table comparison)
     kColConst,  ///< lhs = constant
     kColParam,  ///< lhs = $A.param_idx (ATG semantic-attribute parameter)
+    kColColNe,  ///< lhs != rhs — a non-equi condition. Supported by direct
+                ///< query evaluation only (it cannot drive a hash join and
+                ///< is applied as a residual filter); edge-view rules must
+                ///< be equality-only (RegisterEdgeView rejects it).
   };
   Kind kind = Kind::kColCol;
   SpjColRef lhs;
@@ -41,6 +45,45 @@ struct SpjCondition {
 struct SpjOutput {
   SpjColRef ref;
   std::string name;
+};
+
+/// Execution counters of one evaluation (see docs/relational-backend.md).
+struct SpjExecStats {
+  size_t hash_join_steps = 0;    ///< steps driven by a partitioned build/probe
+  size_t index_probe_steps = 0;  ///< steps driven by per-binding index probes
+  size_t fallback_steps = 0;     ///< steps with no equi link (cross + filter)
+  size_t partitions = 0;         ///< radix partitions built across all steps
+  size_t index_probes = 0;       ///< secondary-index bucket lookups
+  size_t rows_scanned = 0;       ///< rows read by full scans
+  size_t rows_from_index = 0;    ///< candidate rows produced by index probes
+};
+
+/// Knobs of the relational query backend. The default configuration is the
+/// partitioned hash-join pipeline; kNestedLoop keeps the pre-existing
+/// single-pass evaluator as a reference implementation (the randomized
+/// oracle in tests/spj_join_test.cc checks the two bit-identical, result
+/// order included).
+struct SpjExecOptions {
+  enum class Backend {
+    kHashJoin,    ///< column indexes + greedy order + partitioned joins
+    kNestedLoop,  ///< reference: fixed FROM order, per-step rebuilt hashes
+  };
+  Backend backend = Backend::kHashJoin;
+  /// Serve local equality selections and small-outer joins through the
+  /// tables' lazy per-column indexes (Table::EnsureColumnIndex).
+  bool use_column_indexes = true;
+  /// Greedy join-order pass: start from the most selective occurrence and
+  /// grow along equi-links. Off = original FROM order.
+  bool reorder_joins = true;
+  /// Use per-binding index probes instead of a build/probe pass when
+  /// |bound side| * index_probe_ratio <= |candidate side|.
+  size_t index_probe_ratio = 8;
+  /// Radix-partition a build/probe step when the smaller side exceeds
+  /// this many rows; below it one partition suffices.
+  size_t partition_min_rows = 4096;
+  size_t max_partitions = 64;
+  /// Optional counters sink (zeroed by the evaluation when set).
+  SpjExecStats* stats = nullptr;
 };
 
 /// A select-project-join query over base relations, with optional
@@ -64,8 +107,9 @@ class SpjQuery {
   /// Evaluates the query against `db` binding `$A = params`.
   /// Returns projected tuples (bag semantics collapsed to set semantics,
   /// matching the paper's edge relations which are sets).
-  Result<std::vector<Tuple>> Eval(const Database& db,
-                                  const Tuple& params) const;
+  Result<std::vector<Tuple>> Eval(
+      const Database& db, const Tuple& params,
+      const SpjExecOptions& opts = SpjExecOptions()) const;
 
   /// A query result row together with the source rows (one per FROM
   /// occurrence) that produced it — the witness used to compute the
@@ -75,9 +119,13 @@ class SpjQuery {
     std::vector<Tuple> sources;  ///< sources[i] is the row of tables()[i].
   };
 
-  /// Like Eval but keeps witnesses and does not deduplicate.
-  Result<std::vector<WitnessedRow>> EvalWithWitness(const Database& db,
-                                                    const Tuple& params) const;
+  /// Like Eval but keeps witnesses and does not deduplicate. Both backends
+  /// emit rows in the same canonical order — lexicographic in the source
+  /// rows' table-scan positions over the FROM list — so results are
+  /// bit-identical sequences, not just equal sets.
+  Result<std::vector<WitnessedRow>> EvalWithWitness(
+      const Database& db, const Tuple& params,
+      const SpjExecOptions& opts = SpjExecOptions()) const;
 
   /// EvalWithWitness with FROM occurrence `pinned_pos` restricted to the
   /// single row `pinned_row` — the delta-join primitive of incremental
@@ -85,7 +133,8 @@ class SpjQuery {
   /// join results that use it.
   Result<std::vector<WitnessedRow>> EvalWithWitnessPinned(
       const Database& db, const Tuple& params, size_t pinned_pos,
-      const Tuple& pinned_row) const;
+      const Tuple& pinned_row,
+      const SpjExecOptions& opts = SpjExecOptions()) const;
 
   /// Evaluates the query once for ALL parameter bindings simultaneously:
   /// the parameter predicates are dropped from the join and their bound
@@ -96,13 +145,15 @@ class SpjQuery {
   /// into one O(|I|) join (the difference between quadratic and linear
   /// publishing).
   Result<std::unordered_map<Tuple, std::vector<WitnessedRow>, TupleHash>>
-  EvalGroupedByParams(const Database& db) const;
+  EvalGroupedByParams(const Database& db,
+                      const SpjExecOptions& opts = SpjExecOptions()) const;
 
   /// Grouped evaluation with one occurrence pinned (delta join grouped by
   /// parameter values): the incremental-publishing primitive.
   Result<std::unordered_map<Tuple, std::vector<WitnessedRow>, TupleHash>>
-  EvalGroupedByParamsPinned(const Database& db, size_t pinned_pos,
-                            const Tuple& pinned_row) const;
+  EvalGroupedByParamsPinned(
+      const Database& db, size_t pinned_pos, const Tuple& pinned_row,
+      const SpjExecOptions& opts = SpjExecOptions()) const;
 
   /// Key preservation (Section 4.1): true iff for every FROM occurrence,
   /// every primary-key column of that occurrence appears in the projection.
@@ -123,6 +174,19 @@ class SpjQuery {
  private:
   friend class SpjQueryBuilder;
 
+  /// The pre-existing evaluator: fixed FROM order, full scans, per-step
+  /// rebuilt hash tables. Kept as the oracle/reference backend.
+  Result<std::vector<WitnessedRow>> EvalPinnedNestedLoop(
+      const Database& db, const Tuple& params, size_t pinned_pos,
+      const Tuple& pinned_row) const;
+
+  /// The hash-join backend (spj_exec.cc): per-occurrence candidates via
+  /// column indexes, greedy join order, radix-partitioned build/probe or
+  /// index-probe steps, canonical result order.
+  Result<std::vector<WitnessedRow>> EvalPinnedHashJoin(
+      const Database& db, const Tuple& params, size_t pinned_pos,
+      const Tuple& pinned_row, const SpjExecOptions& opts) const;
+
   std::vector<TableRef> tables_;
   std::vector<SpjCondition> conditions_;
   std::vector<SpjOutput> outputs_;
@@ -137,6 +201,8 @@ class SpjQueryBuilder {
 
   SpjQueryBuilder& From(const std::string& table, const std::string& alias);
   SpjQueryBuilder& WhereEq(const std::string& lhs, const std::string& rhs);
+  /// lhs != rhs. Direct-query evaluation only; rejected in edge-view rules.
+  SpjQueryBuilder& WhereNe(const std::string& lhs, const std::string& rhs);
   SpjQueryBuilder& WhereConst(const std::string& lhs, Value v);
   SpjQueryBuilder& WhereParam(const std::string& lhs, size_t param_idx);
   SpjQueryBuilder& Select(const std::string& col, const std::string& as);

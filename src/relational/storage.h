@@ -1,0 +1,46 @@
+#ifndef XVU_RELATIONAL_STORAGE_H_
+#define XVU_RELATIONAL_STORAGE_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/relational/database.h"
+#include "src/relational/table.h"
+
+namespace xvu {
+
+// Binary on-disk relation format "XVUR", version 1 (full byte-level spec in
+// docs/relational-backend.md).
+//
+// A relation file is little-endian and columnar:
+//
+//   magic "XVUR" | u32 version | u32 flags | schema block | u64 row_count
+//   | column block * arity
+//
+// The schema block stores the table name, per-column names + declared type
+// tags, and the key column indices. Each column block is length-prefixed
+// (u64 payload size, so readers can skip columns), and holds one u8 type
+// tag per row followed by the packed payloads (i64 ints, u8 bools,
+// u32-length-prefixed strings, nothing for nulls) — per-row tags make
+// dynamically typed (kNull-declared) columns and NULLs uniform.
+//
+// Loading memory-maps the file when possible (falling back to a buffered
+// read) and materializes a Table; every read is bounds-checked so a
+// truncated or corrupt file fails with InvalidArgument instead of crashing.
+
+/// Writes the live rows of `t` to `path` (overwriting it).
+Status StoreRelation(const Table& t, const std::string& path);
+
+/// Reads a relation file written by StoreRelation.
+Result<Table> LoadRelation(const std::string& path);
+
+/// Stores every table of `db` into `dir` (created if missing) as
+/// "<table>.xvur" plus a MANIFEST file listing them.
+Status StoreDatabase(const Database& db, const std::string& dir);
+
+/// Loads a database directory written by StoreDatabase.
+Result<Database> LoadDatabase(const std::string& dir);
+
+}  // namespace xvu
+
+#endif  // XVU_RELATIONAL_STORAGE_H_

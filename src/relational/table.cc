@@ -1,5 +1,7 @@
 #include "src/relational/table.h"
 
+#include <algorithm>
+
 namespace xvu {
 
 Status Table::Insert(Tuple row) {
@@ -14,6 +16,14 @@ Status Table::Insert(Tuple row) {
   dead_.push_back(0);
   pk_index_.emplace(std::move(key), rows_.size() - 1);
   ++live_count_;
+  // Appending keeps every built column index's buckets in ascending slot
+  // order (new slots are always the largest).
+  size_t slot = rows_.size() - 1;
+  for (size_t c = 0; c < col_indexes_.size(); ++c) {
+    if (col_indexes_[c] != nullptr) {
+      (*col_indexes_[c])[rows_[slot][c]].push_back(slot);
+    }
+  }
   return Status::OK();
 }
 
@@ -36,7 +46,17 @@ Status Table::DeleteByKey(const Tuple& key) {
     return Status::NotFound("key " + TupleToString(key) + " not in " +
                             schema_.name());
   }
-  dead_[it->second] = 1;
+  size_t slot = it->second;
+  for (size_t c = 0; c < col_indexes_.size(); ++c) {
+    if (col_indexes_[c] == nullptr) continue;
+    auto bit = col_indexes_[c]->find(rows_[slot][c]);
+    if (bit == col_indexes_[c]->end()) continue;
+    auto& bucket = bit->second;
+    bucket.erase(std::remove(bucket.begin(), bucket.end(), slot),
+                 bucket.end());
+    if (bucket.empty()) col_indexes_[c]->erase(bit);
+  }
+  dead_[slot] = 1;
   pk_index_.erase(it);
   --live_count_;
   MaybeCompact();
@@ -61,7 +81,35 @@ void Table::Clear() {
   dead_.clear();
   pk_index_.clear();
   live_count_ = 0;
+  DropColumnIndexes();
 }
+
+void Table::EnsureColumnIndex(size_t col) const {
+  if (col >= schema_.arity()) return;
+  if (col_indexes_.size() < schema_.arity()) {
+    col_indexes_.resize(schema_.arity());
+  }
+  if (col_indexes_[col] != nullptr) return;
+  auto idx = std::make_unique<ColumnIndex>();
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (!dead_[i]) (*idx)[rows_[i][col]].push_back(i);
+  }
+  col_indexes_[col] = std::move(idx);
+  ++col_index_builds_;
+}
+
+const std::vector<size_t>* Table::EqSlots(size_t col, const Value& v) const {
+  if (!HasColumnIndex(col)) return nullptr;
+  auto it = col_indexes_[col]->find(v);
+  return it == col_indexes_[col]->end() ? nullptr : &it->second;
+}
+
+size_t Table::CountEq(size_t col, const Value& v) const {
+  const std::vector<size_t>* slots = EqSlots(col, v);
+  return slots == nullptr ? 0 : slots->size();
+}
+
+void Table::DropColumnIndexes() const { col_indexes_.clear(); }
 
 void Table::MaybeCompact() {
   // Compact when more than half of the slots are tombstones.
@@ -77,6 +125,8 @@ void Table::MaybeCompact() {
   for (size_t i = 0; i < rows_.size(); ++i) {
     pk_index_.emplace(schema_.KeyOf(rows_[i]), i);
   }
+  // Slots shifted; column indexes are rebuilt lazily on the next probe.
+  DropColumnIndexes();
 }
 
 }  // namespace xvu

@@ -2,6 +2,7 @@
 #define XVU_RELATIONAL_TABLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -21,6 +22,28 @@ class Table {
  public:
   Table() = default;
   explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  // Copies carry the data but not the lazily built column-index caches
+  // (they rebuild on the first probe against the copy); moves carry both.
+  Table(const Table& o)
+      : schema_(o.schema_),
+        rows_(o.rows_),
+        dead_(o.dead_),
+        pk_index_(o.pk_index_),
+        live_count_(o.live_count_) {}
+  Table& operator=(const Table& o) {
+    if (this != &o) {
+      schema_ = o.schema_;
+      rows_ = o.rows_;
+      dead_ = o.dead_;
+      pk_index_ = o.pk_index_;
+      live_count_ = o.live_count_;
+      DropColumnIndexes();
+    }
+    return *this;
+  }
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
 
   const Schema& schema() const { return schema_; }
 
@@ -55,6 +78,51 @@ class Table {
     }
   }
 
+  /// Invokes fn(slot, row) for every live row. Slots are stable between
+  /// mutations that compact (see MaybeCompact) and enumerate in scan
+  /// order, which is what the SPJ backend's canonical result order is
+  /// defined over.
+  template <typename Fn>
+  void ForEachSlot(Fn&& fn) const {
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (!dead_[i]) fn(i, rows_[i]);
+    }
+  }
+
+  /// The row stored at `slot` (must be a live slot obtained from
+  /// ForEachSlot or EqSlots).
+  const Tuple& RowAt(size_t slot) const { return rows_[slot]; }
+
+  // --- Secondary per-column indexes --------------------------------------
+  //
+  // Lazy hash indexes value -> live slots, one per column, used by the SPJ
+  // hash-join backend's local selections and index-probe joins and by the
+  // insert translator's narrowing probes (docs/relational-backend.md).
+  // Lifecycle: built on demand by EnsureColumnIndex, maintained
+  // incrementally on Insert/DeleteByKey, dropped wholesale when compaction
+  // shifts slots (and on Clear). Building is NOT thread-safe; probing a
+  // built index (EqSlots/CountEq) is a const read that concurrent
+  // evaluation passes may share.
+
+  /// Builds the index on `col` if absent. No-op when already built.
+  void EnsureColumnIndex(size_t col) const;
+
+  bool HasColumnIndex(size_t col) const {
+    return col < col_indexes_.size() && col_indexes_[col] != nullptr;
+  }
+
+  /// Slots (ascending) whose row[col] == v, or nullptr when none match.
+  /// Requires EnsureColumnIndex(col) to have been called.
+  const std::vector<size_t>* EqSlots(size_t col, const Value& v) const;
+
+  /// Number of live rows with row[col] == v (selectivity probe for the
+  /// join-order pass). Requires EnsureColumnIndex(col).
+  size_t CountEq(size_t col, const Value& v) const;
+
+  /// Times any column index was (re)built — observability for the
+  /// index-lifecycle tests.
+  size_t column_index_builds() const { return col_index_builds_; }
+
   /// Materializes live rows (copy).
   std::vector<Tuple> Rows() const;
 
@@ -62,13 +130,19 @@ class Table {
   void Clear();
 
  private:
+  using ColumnIndex = std::unordered_map<Value, std::vector<size_t>, ValueHash>;
+
   void MaybeCompact();
+  void DropColumnIndexes() const;
 
   Schema schema_;
   std::vector<Tuple> rows_;
   std::vector<uint8_t> dead_;
   std::unordered_map<Tuple, size_t, TupleHash> pk_index_;
   size_t live_count_ = 0;
+  /// Sized lazily up to arity; a null entry means "not built".
+  mutable std::vector<std::unique_ptr<ColumnIndex>> col_indexes_;
+  mutable size_t col_index_builds_ = 0;
 };
 
 }  // namespace xvu

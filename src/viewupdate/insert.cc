@@ -123,10 +123,6 @@ struct TableKeyHash {
   }
 };
 
-struct ValueHash {
-  size_t operator()(const Value& v) const { return v.Hash(); }
-};
-
 /// One row participating in a symbolic join: either a base row (concrete)
 /// or a template.
 struct SymRow {
@@ -149,6 +145,9 @@ struct SymRow {
 /// indexes are guarded by `gen_index_mu` (the only lock the passes take),
 /// and (c) `negative_conditions`, which is only written by the
 /// coordinator when it merges the per-pass outputs in serial order.
+/// The base tables' per-column indexes the narrowing probes read are
+/// likewise built serially (PrebuildJoinIndexes) before the passes start;
+/// probing a built Table index is a const read.
 struct Translator {
   const ViewStore& store;
   const Database& base;
@@ -160,12 +159,6 @@ struct Translator {
       template_index;
   /// templates per base table (indices into `templates`).
   std::unordered_map<std::string, std::vector<size_t>> templates_by_table;
-
-  /// Per-(table, column) hash indexes over base rows; prebuilt for every
-  /// column a rule condition can narrow on, read-only afterwards.
-  std::map<std::pair<std::string, size_t>,
-           std::unordered_map<Value, std::vector<const Tuple*>, ValueHash>>
-      col_index;
 
   /// Lazily built gen-row indexes keyed by a subset of attr positions:
   /// (view name, positions) -> attr-values -> gen rows. Which subsets
@@ -249,6 +242,10 @@ Status BuildTemplates(Translator* t, const EdgeViewInfo& info,
         XVU_RETURN_NOT_OK(
             t->classes.Union(lc, cells[c.rhs.table_pos][c.rhs.col_idx]));
         break;
+      case SpjCondition::Kind::kColColNe:
+        // Unreachable: RegisterEdgeView rejects non-equality rules (the
+        // symbolic machinery's atoms encode equalities only).
+        return Status::Internal("!= condition in edge-view rule");
     }
   }
   for (size_t j = 0; j < q.outputs().size(); ++j) {
@@ -324,22 +321,20 @@ Tuple ExpectedKey(int64_t parent_id, const Tuple& projected) {
   return k;
 }
 
-/// Base rows of `table` whose column `col` equals `v`. Read-only: the
-/// index must have been prebuilt (PrebuildJoinIndexes covers every column
-/// a condition can narrow on); `known` reports whether it was.
-const std::vector<const Tuple*>* IndexLookup(const Translator& t,
-                                             const std::string& table,
-                                             size_t col, const Value& v,
-                                             bool* known) {
-  auto it = t.col_index.find(std::make_pair(table, col));
-  if (it == t.col_index.end()) {
+/// Slots of `bt`'s rows whose column `col` equals `v`, through the table's
+/// own secondary index. Read-only: the index must have been prebuilt
+/// (PrebuildJoinIndexes covers every column a condition can narrow on);
+/// `known` reports whether it was. Buckets enumerate in ascending slot
+/// (scan) order — the same order the prior per-translator indexes used, so
+/// candidate enumeration and the CNF built from it are unchanged.
+const std::vector<size_t>* IndexLookup(const Table* bt, size_t col,
+                                       const Value& v, bool* known) {
+  if (!bt->HasColumnIndex(col)) {
     *known = false;
     return nullptr;
   }
   *known = true;
-  auto vit = it->second.find(v);
-  if (vit == it->second.end()) return nullptr;
-  return &vit->second;
+  return bt->EqSlots(col, v);
 }
 
 /// Whether (type, attr) already has a node id (reverse gen lookup,
@@ -366,12 +361,8 @@ bool GenHasAttr(const Translator& t, const std::string& type,
 void PrebuildJoinIndexes(Translator* t,
                          const std::vector<const EdgeViewInfo*>& views) {
   auto ensure_col = [&](const std::string& table, size_t col) {
-    auto key = std::make_pair(table, col);
-    if (t->col_index.count(key) > 0) return;
-    auto& idx = t->col_index[key];
     const Table* bt = t->base.GetTable(table);
-    if (bt == nullptr) return;
-    bt->ForEach([&](const Tuple& row) { idx[row[col]].push_back(&row); });
+    if (bt != nullptr) bt->EnsureColumnIndex(col);
   };
   for (const EdgeViewInfo* info : views) {
     const SpjQuery& q = info->rule;
@@ -389,6 +380,8 @@ void PrebuildJoinIndexes(Translator* t,
           // occurrence pins the same param — base rows of this column.
           ensure_col(q.tables()[c.lhs.table_pos].table, c.lhs.col_idx);
           break;
+        case SpjCondition::Kind::kColColNe:
+          break;  // never narrows; rejected at registration anyway
       }
     }
     if (t->gen_reverse.count(info->child_type) == 0) {
@@ -428,6 +421,15 @@ void PrebuildJoinIndexes(Translator* t,
 struct JoinFrame {
   const EdgeViewInfo* info;
   size_t forced;
+  /// The order the remaining occurrences (every one but `forced`) are
+  /// filled in: visit[depth] is a FROM position. FROM order, or the greedy
+  /// most-constrained-first order when options.reorder_occurrences is set.
+  std::vector<size_t> visit;
+  /// fire[depth]: conditions whose endpoints are all filled once
+  /// visit[depth] is assigned (the forced occupancy counts as filled from
+  /// the start). Conditions entirely within the forced occurrence are not
+  /// listed; they fire at seeding time.
+  std::vector<std::vector<const SpjCondition*>> fire;
   /// assigned[pos] is meaningful iff is_set[pos]; the forced occurrence is
   /// pre-seeded, so conditions against it narrow the join from the start.
   std::vector<SymRow> assigned;
@@ -441,19 +443,115 @@ struct JoinFrame {
 
 Status EmitCandidate(Translator* t, JoinFrame* f);
 
-/// A condition "fires" at the first point where all of its endpoints are
-/// filled; the forced occupancy counts as filled from the start.
-size_t FirePosition(const SpjCondition& c, size_t forced) {
-  size_t fire = 0;
-  bool any = false;
-  auto consider = [&](size_t pos) {
-    if (pos == forced) return;  // pre-seeded
-    fire = std::max(fire, pos);
-    any = true;
+/// The order JoinRec fills the non-forced occurrences in. Default: greedy
+/// most-constrained-first — repeatedly take the occurrence narrowable
+/// through a condition against the already-placed set (a constant
+/// selection, an equi-link, or a shared parameter), smallest candidate
+/// set first; occurrences with no link come last (they cross-product).
+/// The enumeration visits the same combinations either way, so the set of
+/// side-effect conditions is order-independent; only enumeration order
+/// (and the clause order of the CNF built from it) changes.
+std::vector<size_t> VisitOrder(const Translator& t, const SpjQuery& q,
+                               size_t forced) {
+  const size_t n = q.tables().size();
+  std::vector<size_t> order;
+  order.reserve(n - 1);
+  if (!t.options.reorder_occurrences) {
+    for (size_t pos = 0; pos < n; ++pos) {
+      if (pos != forced) order.push_back(pos);
+    }
+    return order;
+  }
+  // Candidate-set size: base rows, plus the new templates this occurrence
+  // may draw from (only occurrences after `forced` in FROM order do).
+  auto est = [&](size_t occ) {
+    const Table* bt = t.base.GetTable(q.tables()[occ].table);
+    size_t e = bt != nullptr ? bt->size() : 0;
+    if (occ > forced) {
+      auto it = t.templates_by_table.find(q.tables()[occ].table);
+      if (it != t.templates_by_table.end()) {
+        for (size_t ti : it->second) {
+          if (t.templates[ti].is_new) ++e;
+        }
+      }
+    }
+    return e;
   };
-  consider(c.lhs.table_pos);
-  if (c.kind == SpjCondition::Kind::kColCol) consider(c.rhs.table_pos);
-  return any ? fire : static_cast<size_t>(-1);  // -1: fires at seeding time
+  std::vector<uint8_t> placed(n, 0);
+  placed[forced] = 1;
+  while (order.size() + 1 < n) {
+    size_t best = Schema::npos;
+    bool best_linked = false;
+    size_t best_est = 0;
+    for (size_t occ = 0; occ < n; ++occ) {
+      if (placed[occ]) continue;
+      bool linked = false;
+      for (const SpjCondition& c : q.conditions()) {
+        if (c.kind == SpjCondition::Kind::kColConst) {
+          linked = c.lhs.table_pos == occ;
+        } else if (c.kind == SpjCondition::Kind::kColCol) {
+          linked = (c.lhs.table_pos == occ && placed[c.rhs.table_pos]) ||
+                   (c.rhs.table_pos == occ && placed[c.lhs.table_pos]);
+        } else if (c.kind == SpjCondition::Kind::kColParam &&
+                   c.lhs.table_pos == occ) {
+          for (const SpjCondition& c2 : q.conditions()) {
+            if (c2.kind == SpjCondition::Kind::kColParam &&
+                c2.param_idx == c.param_idx && placed[c2.lhs.table_pos]) {
+              linked = true;
+              break;
+            }
+          }
+        }
+        if (linked) break;
+      }
+      size_t e = est(occ);
+      if (best == Schema::npos || (linked && !best_linked) ||
+          (linked == best_linked && e < best_est)) {
+        best = occ;
+        best_linked = linked;
+        best_est = e;
+      }
+    }
+    order.push_back(best);
+    placed[best] = 1;
+  }
+  return order;
+}
+
+/// Endpoint FROM positions of a condition (rhs only for two-column kinds).
+template <typename Fn>
+void ForEachEndpoint(const SpjCondition& c, Fn&& fn) {
+  fn(c.lhs.table_pos);
+  if (c.kind == SpjCondition::Kind::kColCol ||
+      c.kind == SpjCondition::Kind::kColColNe) {
+    fn(c.rhs.table_pos);
+  }
+}
+
+/// Fills f->fire from f->visit and returns the seed conditions (all
+/// endpoints within the forced occurrence), which the caller applies
+/// before recursing.
+std::vector<const SpjCondition*> BuildFireLists(const SpjQuery& q,
+                                                JoinFrame* f) {
+  const size_t n = q.tables().size();
+  std::vector<size_t> depth_of(n, 0);
+  for (size_t d = 0; d < f->visit.size(); ++d) depth_of[f->visit[d]] = d;
+  f->fire.assign(f->visit.size(), {});
+  std::vector<const SpjCondition*> seed;
+  for (const SpjCondition& c : q.conditions()) {
+    size_t at = Schema::npos;  // npos: only the forced occurrence involved
+    ForEachEndpoint(c, [&](size_t pos) {
+      if (pos == f->forced) return;
+      size_t d = depth_of[pos];
+      if (at == Schema::npos || d > at) at = d;
+    });
+    if (at == Schema::npos) {
+      seed.push_back(&c);
+    } else {
+      f->fire[at].push_back(&c);
+    }
+  }
+  return seed;
 }
 
 /// Checks/collects one condition over the currently assigned rows.
@@ -468,16 +566,21 @@ bool ApplyCondition(const Translator& t, JoinFrame* f,
               ? Sym{c.constant, kNoClass}
               : t.classes.Resolve(
                     f->assigned[c.rhs.table_pos].At(c.rhs.col_idx));
+  if (c.kind == SpjCondition::Kind::kColColNe) {
+    // Defensive: RegisterEdgeView rejects != rules, so this never runs.
+    // Atoms encode equalities only; just check the concrete case.
+    return !(l.concrete() && r.concrete()) || l.value != r.value;
+  }
   if (l.concrete() && r.concrete()) return l.value == r.value;
   if (!l.concrete() && !r.concrete() && l.cls == r.cls) return true;
   f->atoms.push_back(Atom{l, r});
   return true;
 }
 
-Status JoinRec(Translator* t, JoinFrame* f, size_t occ) {
+Status JoinRec(Translator* t, JoinFrame* f, size_t depth) {
   const SpjQuery& q = f->info->rule;
-  if (occ == q.tables().size()) return EmitCandidate(t, f);
-  if (occ == f->forced) return JoinRec(t, f, occ + 1);  // pre-seeded
+  if (depth == f->visit.size()) return EmitCandidate(t, f);
+  const size_t occ = f->visit[depth];
   if (t->aborted.load(std::memory_order_relaxed)) {
     return Status::OK();  // another pass already rejected; result unused
   }
@@ -487,11 +590,8 @@ Status JoinRec(Translator* t, JoinFrame* f, size_t occ) {
         "insertion side-effect analysis exceeded the work cap");
   }
 
-  // Conditions firing at this occurrence.
-  std::vector<const SpjCondition*> conds;
-  for (const SpjCondition& c : q.conditions()) {
-    if (FirePosition(c, f->forced) == occ) conds.push_back(&c);
-  }
+  // Conditions firing at this occurrence (precomputed per pass).
+  const std::vector<const SpjCondition*>& conds = f->fire[depth];
 
   auto try_row = [&](SymRow row) -> Status {
     size_t atoms_mark = f->atoms.size();
@@ -504,25 +604,24 @@ Status JoinRec(Translator* t, JoinFrame* f, size_t occ) {
         break;
       }
     }
-    if (viable) XVU_RETURN_NOT_OK(JoinRec(t, f, occ + 1));
+    if (viable) XVU_RETURN_NOT_OK(JoinRec(t, f, depth + 1));
     f->is_set[occ] = 0;
     f->atoms.resize(atoms_mark);
     return Status::OK();
   };
 
   const std::string& table = q.tables()[occ].table;
+  const Table* bt = t->base.GetTable(table);
 
   // Base rows. Narrow with an index when some condition binds a column of
   // this occurrence to an already-filled concrete value (assigned, forced,
   // or a constant). The chosen (column, value) also narrows the template
   // candidates below.
-  auto filled = [&](size_t pos) {
-    return pos == f->forced || (pos < occ && f->is_set[pos]);
-  };
+  auto filled = [&](size_t pos) { return f->is_set[pos] != 0; };
   bool have_narrow = false;
   size_t narrow_col = 0;
   Value narrow_val;
-  const std::vector<const Tuple*>* narrowed = nullptr;
+  const std::vector<size_t>* narrowed = nullptr;
   for (const SpjCondition& c : q.conditions()) {
     size_t col = Schema::npos;
     Sym other;
@@ -561,26 +660,25 @@ Status JoinRec(Translator* t, JoinFrame* f, size_t occ) {
         }
       }
     }
-    if (col != Schema::npos && other.concrete()) {
+    if (bt != nullptr && col != Schema::npos && other.concrete()) {
       bool known = false;
-      const std::vector<const Tuple*>* rows =
-          IndexLookup(*t, table, col, other.value, &known);
+      const std::vector<size_t>* slots =
+          IndexLookup(bt, col, other.value, &known);
       if (!known) continue;  // defensive: column not prebuilt, skip
       have_narrow = true;
       narrow_col = col;
       narrow_val = other.value;
-      narrowed = rows;
+      narrowed = slots;
       if (narrowed == nullptr || narrowed->size() <= 4) break;
     }
   }
   if (have_narrow) {
     if (narrowed != nullptr) {
-      for (const Tuple* row : *narrowed) {
-        XVU_RETURN_NOT_OK(try_row(SymRow{row, nullptr}));
+      for (size_t slot : *narrowed) {
+        XVU_RETURN_NOT_OK(try_row(SymRow{&bt->RowAt(slot), nullptr}));
       }
     }
-  } else {
-    const Table* bt = t->base.GetTable(table);
+  } else if (bt != nullptr) {
     Status st = Status::OK();
     bt->ForEach([&](const Tuple& row) {
       if (!st.ok()) return;
@@ -912,15 +1010,16 @@ Result<InsertTranslation> TranslateGroupInsertion(
     f.info = task.info;
     f.forced = task.forced;
     f.out_conds = &task_conds[k];
+    f.visit = VisitOrder(t, q, task.forced);
+    std::vector<const SpjCondition*> seed = BuildFireLists(q, &f);
     f.assigned.assign(q.tables().size(), SymRow{});
     f.is_set.assign(q.tables().size(), 0);
     f.assigned[task.forced] = SymRow{nullptr, &t.templates[task.tmpl]};
     f.is_set[task.forced] = 1;
     // Conditions entirely within the forced occurrence fire now.
     bool viable = true;
-    for (const SpjCondition& c : q.conditions()) {
-      if (FirePosition(c, task.forced) == static_cast<size_t>(-1) &&
-          !ApplyCondition(t, &f, c)) {
+    for (const SpjCondition* c : seed) {
+      if (!ApplyCondition(t, &f, *c)) {
         viable = false;
         break;
       }

@@ -29,6 +29,12 @@ struct InsertOptions {
   /// only skips templates whose concrete slot fails the same equality the
   /// join condition would have checked. Disable for A/B benchmarking only.
   bool use_template_index = true;
+  /// Fill the symbolic join's occurrences most-constrained-first (greedy:
+  /// prefer occurrences narrowable through a condition against the rows
+  /// already placed, smallest candidate set first) instead of FROM order.
+  /// The set of side-effect conditions found is the same either way; only
+  /// the enumeration order — and hence CNF clause order — changes.
+  bool reorder_occurrences = true;
 };
 
 /// Statistics and result of a group-insertion translation.

@@ -6,6 +6,17 @@ Status ViewStore::RegisterEdgeView(EdgeViewInfo info) {
   if (edge_views_.count(info.name) > 0) {
     return Status::AlreadyExists("edge view " + info.name);
   }
+  // Edge-view rules must be equality-only SPJ queries: the symbolic
+  // translation machinery (constant propagation, tuple templates, the
+  // side-effect atoms of Appendix A) encodes equalities exclusively.
+  // != is available to direct queries but not view definitions.
+  for (const SpjCondition& c : info.rule.conditions()) {
+    if (c.kind == SpjCondition::Kind::kColColNe) {
+      return Status::InvalidArgument(
+          "edge view " + info.name +
+          ": != conditions are not allowed in view rules");
+    }
+  }
   std::vector<Column> cols;
   cols.reserve(2 + info.rule.outputs().size());
   cols.push_back(Column{"parent_id", ValueType::kInt});

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <vector>
 
+#include "src/common/rng.h"
 #include "src/relational/database.h"
 #include "src/relational/spj.h"
 
@@ -262,6 +264,86 @@ TEST(SpjEval, SelfJoinRenaming) {
   auto rows = q->Eval(db, {});
   ASSERT_TRUE(rows.ok());
   EXPECT_EQ(rows->size(), 4u);  // 2x2 pairs on b=true
+}
+
+TEST(ColumnIndex, ProbeMatchesScanAndBucketsStayAscending) {
+  Table t(Schema("t", {{"k", ValueType::kInt}, {"v", ValueType::kInt}},
+                 {"k"}));
+  t.EnsureColumnIndex(1);  // built while empty, maintained from then on
+  for (int64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(t.Insert({Value::Int(i), Value::Int(i % 3)}).ok());
+  }
+  const std::vector<size_t>* slots = t.EqSlots(1, Value::Int(0));
+  ASSERT_NE(slots, nullptr);
+  EXPECT_EQ(slots->size(), 7u);
+  EXPECT_TRUE(std::is_sorted(slots->begin(), slots->end()));
+  EXPECT_EQ(t.CountEq(1, Value::Int(5)), 0u);
+  EXPECT_EQ(t.EqSlots(1, Value::Int(5)), nullptr);
+  // Out-of-range column / unbuilt column.
+  EXPECT_EQ(t.EqSlots(7, Value::Int(0)), nullptr);
+  EXPECT_FALSE(t.HasColumnIndex(0));
+  // EnsureColumnIndex is lazy: a second call does not rebuild.
+  size_t builds = t.column_index_builds();
+  t.EnsureColumnIndex(1);
+  EXPECT_EQ(t.column_index_builds(), builds);
+}
+
+TEST(ColumnIndex, MaintainedAcrossRandomInsertDeleteCompaction) {
+  Rng rng(99);
+  Table t(Schema("t", {{"k", ValueType::kInt}, {"v", ValueType::kInt}},
+                 {"k"}));
+  t.EnsureColumnIndex(1);
+  std::vector<int64_t> live_keys;
+  int64_t next_key = 0;
+  for (int step = 0; step < 2000; ++step) {
+    if (live_keys.empty() || rng.Chance(0.6)) {
+      int64_t k = next_key++;
+      ASSERT_TRUE(t.Insert({Value::Int(k), Value::Int(rng.Range(0, 6))}).ok());
+      live_keys.push_back(k);
+    } else {
+      size_t at = rng.Below(live_keys.size());
+      // Deletes trigger compaction once half the slots are tombstones,
+      // which drops the built indexes; probes after that must rebuild
+      // lazily and still agree with the scan.
+      ASSERT_TRUE(t.DeleteByKey({Value::Int(live_keys[at])}).ok());
+      live_keys.erase(live_keys.begin() + static_cast<std::ptrdiff_t>(at));
+    }
+    if (step % 97 == 0) {
+      t.EnsureColumnIndex(1);
+      for (int64_t v = 0; v < 7; ++v) {
+        size_t brute = 0;
+        t.ForEach([&](const Tuple& row) {
+          if (row[1] == Value::Int(v)) ++brute;
+        });
+        EXPECT_EQ(t.CountEq(1, Value::Int(v)), brute)
+            << "step " << step << " v " << v;
+        const std::vector<size_t>* slots = t.EqSlots(1, Value::Int(v));
+        if (slots != nullptr) {
+          EXPECT_TRUE(std::is_sorted(slots->begin(), slots->end()));
+          for (size_t s : *slots) {
+            EXPECT_EQ(t.RowAt(s)[1], Value::Int(v));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ColumnIndex, CopiedTableRebuildsItsOwnIndexes) {
+  Table t(Schema("t", {{"k", ValueType::kInt}, {"v", ValueType::kInt}},
+                 {"k"}));
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.Insert({Value::Int(i), Value::Int(i % 2)}).ok());
+  }
+  t.EnsureColumnIndex(1);
+  ASSERT_TRUE(t.HasColumnIndex(1));
+  Table copy = t;  // copies data, not the index cache
+  EXPECT_FALSE(copy.HasColumnIndex(1));
+  copy.EnsureColumnIndex(1);
+  EXPECT_EQ(copy.CountEq(1, Value::Int(0)), 5u);
+  // Mutating the copy leaves the original's index intact.
+  ASSERT_TRUE(copy.DeleteByKey({Value::Int(0)}).ok());
+  EXPECT_EQ(t.CountEq(1, Value::Int(0)), 5u);
 }
 
 TEST(SpjEval, CrossProductWhenNoLink) {
