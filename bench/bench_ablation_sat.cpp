@@ -1,17 +1,22 @@
-// Ablation A3 (DESIGN.md): WalkSAT (the paper's solver choice [30])
-// against the complete DPLL solver, both on the insertion encodings the
-// view-update translation produces (tiny, Boolean) and on random 3-SAT
-// near the satisfiability threshold (where local search shines).
+// Ablation A3 (DESIGN.md): WalkSAT (the paper's solver choice [30]),
+// the old recursive DPLL, the watched-literal CDCL, and the portfolio,
+// both on the insertion encodings the view-update translation produces
+// (tiny, Boolean) and on random 3-SAT near the satisfiability threshold.
 //
-// Shape to check: on translation-sized encodings both are instant; on
-// hard random instances WalkSAT degrades gracefully while DPLL blows up
-// exponentially — the reason the paper reaches for local search.
+// Shapes to check: on translation-sized encodings everything is instant;
+// on hard random instances the recursive DPLL blows up exponentially
+// while CDCL's clause learning keeps it polynomial-ish — and WalkSAT
+// degrades gracefully on the satisfiable side. The end-to-end rows
+// surface the SAT counters (propagations, conflicts, learned clauses,
+// flips, winner lane) now recorded in UpdateStats.
 
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
 #include "src/common/rng.h"
+#include "src/sat/cdcl.h"
 #include "src/sat/dpll.h"
+#include "src/sat/portfolio.h"
 #include "src/sat/walksat.h"
 
 namespace xvu {
@@ -39,23 +44,25 @@ void BM_WalkSatRandom(benchmark::State& state) {
   int nv = static_cast<int>(state.range(0));
   uint64_t seed = 3000;
   size_t solved = 0, total = 0;
+  SatStats stats;
   for (auto _ : state) {
     Cnf cnf = Random3Sat(nv, 4.0, seed++);
-    SatResult r = SolveWalkSat(cnf);
+    SatResult r = SolveWalkSat(cnf, {}, &stats);
     if (r.kind == SatResult::Kind::kSat) ++solved;
     ++total;
   }
   state.counters["solved_frac"] =
       total == 0 ? 0 : static_cast<double>(solved) / static_cast<double>(total);
+  state.counters["flips"] = static_cast<double>(stats.flips);
 }
 
-void BM_DpllRandom(benchmark::State& state) {
+void BM_DpllRecursiveRandom(benchmark::State& state) {
   int nv = static_cast<int>(state.range(0));
   uint64_t seed = 3000;
   size_t sat = 0, total = 0;
   for (auto _ : state) {
     Cnf cnf = Random3Sat(nv, 4.0, seed++);
-    SatResult r = SolveDpll(cnf);
+    SatResult r = SolveDpllRecursive(cnf);
     if (r.kind == SatResult::Kind::kSat) ++sat;
     ++total;
   }
@@ -63,9 +70,44 @@ void BM_DpllRandom(benchmark::State& state) {
       total == 0 ? 0 : static_cast<double>(sat) / static_cast<double>(total);
 }
 
-/// End-to-end: buddy insertions (Example 8 gadget) translated with
-/// WalkSAT vs. DPLL as the solver.
-void BM_BuddyInsertTranslation(benchmark::State& state, bool walksat) {
+void BM_CdclRandom(benchmark::State& state) {
+  int nv = static_cast<int>(state.range(0));
+  uint64_t seed = 3000;
+  size_t sat = 0, total = 0;
+  SatStats stats;
+  for (auto _ : state) {
+    Cnf cnf = Random3Sat(nv, 4.0, seed++);
+    SatResult r = SolveCdcl(cnf, {}, &stats);
+    if (r.kind == SatResult::Kind::kSat) ++sat;
+    ++total;
+  }
+  state.counters["sat_frac"] =
+      total == 0 ? 0 : static_cast<double>(sat) / static_cast<double>(total);
+  state.counters["conflicts"] = static_cast<double>(stats.conflicts);
+  state.counters["propagations"] = static_cast<double>(stats.propagations);
+  state.counters["learned"] = static_cast<double>(stats.learned_clauses);
+}
+
+void BM_PortfolioRandom(benchmark::State& state) {
+  int nv = static_cast<int>(state.range(0));
+  uint64_t seed = 3000;
+  size_t sat = 0, total = 0;
+  for (auto _ : state) {
+    Cnf cnf = Random3Sat(nv, 4.0, seed++);
+    SatResult r = SolvePortfolio(cnf);
+    if (r.kind == SatResult::Kind::kSat) ++sat;
+    ++total;
+  }
+  state.counters["sat_frac"] =
+      total == 0 ? 0 : static_cast<double>(sat) / static_cast<double>(total);
+}
+
+enum class TranslateSolver { kPortfolio, kWalkSat, kCdcl };
+
+/// End-to-end: buddy insertions (Example 8 gadget) translated with the
+/// portfolio vs. the serial WalkSAT-only and CDCL-only configurations.
+void BM_BuddyInsertTranslation(benchmark::State& state,
+                               TranslateSolver solver) {
   SyntheticSpec spec;
   spec.num_c = 2000;
   spec.k_coverage = 0.0;
@@ -78,7 +120,8 @@ void BM_BuddyInsertTranslation(benchmark::State& state, bool walksat) {
   }
   auto atg = MakeSyntheticAtg(*db);
   UpdateSystem::Options opts;
-  opts.insert.use_walksat = walksat;
+  opts.insert.use_portfolio = solver == TranslateSolver::kPortfolio;
+  opts.insert.use_walksat = solver == TranslateSolver::kWalkSat;
   opts.insert.dpll_fallback = false;
   auto sys = UpdateSystem::Create(std::move(*atg), std::move(*db), opts);
   if (!sys.ok()) {
@@ -88,11 +131,18 @@ void BM_BuddyInsertTranslation(benchmark::State& state, bool walksat) {
   int64_t fresh_g = 10000000;
   int64_t parent = 1;
   size_t accepted = 0, total = 0;
+  double props = 0, conflicts = 0, learned = 0, flips = 0, sat_s = 0;
   for (auto _ : state) {
     std::string stmt = "insert B(" + std::to_string(++fresh_g) +
                        ") into //C[cid=\"" + std::to_string(++parent) +
                        "\"]/buddies";
     Status st = (*sys)->ApplyStatement(stmt);
+    const UpdateStats& us = (*sys)->last_stats();
+    props += static_cast<double>(us.sat_propagations);
+    conflicts += static_cast<double>(us.sat_conflicts);
+    learned += static_cast<double>(us.sat_learned_clauses);
+    flips += static_cast<double>(us.sat_flips);
+    sat_s += us.sat_seconds;
     if (st.ok()) ++accepted;
     ++total;
     if (parent > 1900) parent = 1;
@@ -100,6 +150,11 @@ void BM_BuddyInsertTranslation(benchmark::State& state, bool walksat) {
   state.counters["accept_frac"] =
       total == 0 ? 0
                  : static_cast<double>(accepted) / static_cast<double>(total);
+  state.counters["sat_propagations"] = props;
+  state.counters["sat_conflicts"] = conflicts;
+  state.counters["sat_learned"] = learned;
+  state.counters["sat_flips"] = flips;
+  state.counters["sat_ms"] = sat_s * 1e3;
 }
 
 void RegisterAll() {
@@ -109,17 +164,34 @@ void RegisterAll() {
         ->Arg(nv)
         ->Unit(benchmark::kMillisecond)
         ->Iterations(5);
-    benchmark::RegisterBenchmark("AblationA3_DPLL_random3sat", BM_DpllRandom)
+    benchmark::RegisterBenchmark("AblationA3_DPLLrecursive_random3sat",
+                                 BM_DpllRecursiveRandom)
+        ->Arg(nv)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(5);
+    benchmark::RegisterBenchmark("AblationA3_CDCL_random3sat", BM_CdclRandom)
+        ->Arg(nv)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(5);
+    benchmark::RegisterBenchmark("AblationA3_Portfolio_random3sat",
+                                 BM_PortfolioRandom)
         ->Arg(nv)
         ->Unit(benchmark::kMillisecond)
         ->Iterations(5);
   }
-  benchmark::RegisterBenchmark("AblationA3_translate_walksat",
-                               BM_BuddyInsertTranslation, true)
+  benchmark::RegisterBenchmark("AblationA3_translate_portfolio",
+                               BM_BuddyInsertTranslation,
+                               TranslateSolver::kPortfolio)
       ->Unit(benchmark::kMillisecond)
       ->Iterations(20);
-  benchmark::RegisterBenchmark("AblationA3_translate_dpll",
-                               BM_BuddyInsertTranslation, false)
+  benchmark::RegisterBenchmark("AblationA3_translate_walksat",
+                               BM_BuddyInsertTranslation,
+                               TranslateSolver::kWalkSat)
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(20);
+  benchmark::RegisterBenchmark("AblationA3_translate_cdcl",
+                               BM_BuddyInsertTranslation,
+                               TranslateSolver::kCdcl)
       ->Unit(benchmark::kMillisecond)
       ->Iterations(20);
 }

@@ -120,6 +120,10 @@ int Run() {
   std::printf("  engine:     strategy=%s, journal entries replayed=%zu\n",
               MaintenanceStrategyName(bs.maintenance_strategy),
               bs.journal_entries_replayed);
+  std::printf("  sat:        %.2f ms, %zu propagations, %zu conflicts, "
+              "%zu learned, %zu flips, winner lane %d\n",
+              bs.sat_seconds * 1e3, bs.sat_propagations, bs.sat_conflicts,
+              bs.sat_learned_clauses, bs.sat_flips, bs.sat_winner_lane);
   std::printf("  speedup:    %.2fx (required >= %.2fx)\n", speedup,
               min_speedup);
 

@@ -460,6 +460,12 @@ Status UpdateSystem::ApplyBatch(const UpdateBatch& batch) {
         InsertTranslation tr,
         TranslateGroupInsertion(store_, db_, ins_dv, ins_options, pool()));
     stats_.used_sat = tr.used_sat;
+    stats_.sat_propagations = tr.sat_stats.propagations;
+    stats_.sat_conflicts = tr.sat_stats.conflicts;
+    stats_.sat_learned_clauses = tr.sat_stats.learned_clauses;
+    stats_.sat_flips = tr.sat_stats.flips;
+    stats_.sat_winner_lane = tr.sat_winner_lane;
+    stats_.sat_seconds = tr.sat_seconds;
     stats_.symbolic_tasks = tr.num_tasks;
     stats_.symbolic_candidates = tr.num_candidates;
     dr.ops.insert(dr.ops.end(), tr.delta_r.ops.begin(), tr.delta_r.ops.end());

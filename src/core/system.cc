@@ -212,6 +212,12 @@ Status UpdateSystem::ApplyInsert(const std::string& elem_type,
                        TranslateGroupInsertion(store_, db_, dv,
                                                options_.insert));
   stats_.used_sat = tr.used_sat;
+  stats_.sat_propagations = tr.sat_stats.propagations;
+  stats_.sat_conflicts = tr.sat_stats.conflicts;
+  stats_.sat_learned_clauses = tr.sat_stats.learned_clauses;
+  stats_.sat_flips = tr.sat_stats.flips;
+  stats_.sat_winner_lane = tr.sat_winner_lane;
+  stats_.sat_seconds = tr.sat_seconds;
   stats_.delta_r = tr.delta_r.ops.size();
 
   // Phase 2b: apply ∆R, publish ST(A, t), connect.

@@ -79,6 +79,20 @@ struct UpdateStats {
   size_t symbolic_candidates = 0;
   size_t dedup_ops = 0;
 
+  /// SAT-portfolio counters (all zero when used_sat is false). Aggregated
+  /// over every lane the insert translation's solver ran:
+  /// `sat_propagations`/`sat_conflicts`/`sat_learned_clauses` from the
+  /// CDCL lane, `sat_flips` from the WalkSAT lanes. `sat_winner_lane` is
+  /// the portfolio's fixed-priority winner (0..K-1 = WalkSAT lane, K =
+  /// CDCL lane, -1 = none / legacy chain) and `sat_seconds` the solver
+  /// wall time inside translate_seconds.
+  size_t sat_propagations = 0;
+  size_t sat_conflicts = 0;
+  size_t sat_learned_clauses = 0;
+  size_t sat_flips = 0;
+  int sat_winner_lane = -1;
+  double sat_seconds = 0;
+
   double total_seconds() const {
     return xpath_seconds + translate_seconds + maintain_seconds;
   }

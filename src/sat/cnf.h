@@ -45,6 +45,27 @@ class Cnf {
   std::vector<std::vector<Lit>> clauses_;
 };
 
+/// Counters a solver run fills in (shared by CDCL, WalkSAT and the
+/// portfolio, which aggregates its lanes' counters). All fields are
+/// deterministic for a deterministic solver configuration.
+struct SatStats {
+  uint64_t propagations = 0;     ///< literals enqueued by unit propagation
+  uint64_t conflicts = 0;        ///< conflicts analyzed (CDCL)
+  uint64_t decisions = 0;        ///< branching decisions (CDCL)
+  uint64_t learned_clauses = 0;  ///< 1-UIP clauses added (CDCL)
+  uint64_t restarts = 0;         ///< Luby restarts taken (CDCL)
+  uint64_t flips = 0;            ///< variable flips (WalkSAT)
+
+  void Accumulate(const SatStats& o) {
+    propagations += o.propagations;
+    conflicts += o.conflicts;
+    decisions += o.decisions;
+    learned_clauses += o.learned_clauses;
+    restarts += o.restarts;
+    flips += o.flips;
+  }
+};
+
 /// Outcome of a SAT solver run.
 struct SatResult {
   enum class Kind {

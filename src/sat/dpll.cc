@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "src/sat/cdcl.h"
+
 namespace xvu {
 
 namespace {
@@ -91,7 +93,9 @@ struct DpllState {
 
 }  // namespace
 
-SatResult SolveDpll(const Cnf& cnf) {
+SatResult SolveDpll(const Cnf& cnf) { return SolveCdcl(cnf); }
+
+SatResult SolveDpllRecursive(const Cnf& cnf) {
   DpllState st;
   st.cnf = &cnf;
   st.value.assign(static_cast<size_t>(cnf.num_vars()) + 1, Assign::kUnset);

@@ -5,12 +5,20 @@
 
 namespace xvu {
 
-/// Complete DPLL solver with unit propagation and pure-literal
-/// elimination. Exponential worst case; used as the correctness oracle for
-/// WalkSAT and as an exact fallback for small insertion encodings.
+/// Complete solver entry point. Historically a recursive DPLL; now backed
+/// by the watched-literal CDCL solver (src/sat/cdcl.h), which is orders of
+/// magnitude faster on hard instances while remaining complete and
+/// deterministic.
 ///
 /// Returns kSat with a model, or kUnsat; never kUnknown.
 SatResult SolveDpll(const Cnf& cnf);
+
+/// The original recursive DPLL (unit propagation + chronological
+/// backtracking, no learning, re-scans every clause per propagation
+/// round). Exponential and slow — kept only as the small-instance
+/// correctness oracle for CDCL/WalkSAT/portfolio fuzz tests and as the
+/// "old solver" baseline in bench_ablation_sat.
+SatResult SolveDpllRecursive(const Cnf& cnf);
 
 }  // namespace xvu
 

@@ -1,0 +1,174 @@
+#include "src/sat/portfolio.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace xvu {
+
+namespace {
+
+/// splitmix64 — decorrelates the per-lane seeds from the base seed.
+uint64_t MixSeed(uint64_t seed, uint64_t lane) {
+  uint64_t z = seed + lane * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Noise diversification for lanes >= 1 (lane 0 keeps the base noise).
+constexpr double kNoiseTable[] = {0.57, 0.40, 0.65, 0.34,
+                                  0.72, 0.45, 0.60, 0.50};
+
+WalkSatOptions LaneConfig(const PortfolioOptions& opts, size_t lane) {
+  WalkSatOptions w = opts.walksat;
+  if (lane > 0) {
+    w.seed = MixSeed(w.seed, lane);
+    w.noise = kNoiseTable[(lane - 1) % (sizeof(kNoiseTable) /
+                                        sizeof(kNoiseTable[0]))];
+  }
+  return w;
+}
+
+struct LaneOutcome {
+  SatResult res;
+  SatStats stats;
+  bool cancelled = false;
+};
+
+bool Definitive(const SatResult& r) {
+  return r.kind != SatResult::Kind::kUnknown;
+}
+
+}  // namespace
+
+SatResult SolvePortfolio(const Cnf& cnf, const PortfolioOptions& options,
+                         PortfolioStats* stats) {
+  const size_t k = options.walksat_lanes;
+  const int cdcl_lane = static_cast<int>(k);
+
+  // Inline fast path: tiny formulas (the insert translation's common
+  // case) and lane-less configurations run sequentially in the
+  // fixed-priority order, which is exactly the deterministic-mode winner
+  // rule — so inline and threaded deterministic runs agree bit-for-bit.
+  if (cnf.num_clauses() <= options.inline_below_clauses || k == 0) {
+    if (stats != nullptr) {
+      stats->lanes = k + 1;
+      stats->threaded = false;
+    }
+    if (k > 0) {
+      SatStats ws_stats;
+      SatResult ws = SolveWalkSat(cnf, LaneConfig(options, 0), &ws_stats);
+      if (stats != nullptr) stats->totals.Accumulate(ws_stats);
+      if (ws.kind == SatResult::Kind::kSat ||
+          ws.kind == SatResult::Kind::kUnsat) {
+        if (stats != nullptr) stats->winner_lane = 0;
+        return ws;
+      }
+    }
+    SatStats cdcl_stats;
+    SatResult cd = SolveCdcl(cnf, options.cdcl, &cdcl_stats);
+    if (stats != nullptr) {
+      stats->totals.Accumulate(cdcl_stats);
+      if (Definitive(cd)) stats->winner_lane = cdcl_lane;
+    }
+    return cd;
+  }
+
+  std::atomic<bool> cancel{false};
+  std::atomic<bool> lane0_done{false};
+  std::atomic<bool> cdcl_done{false};
+  std::atomic<int> race_winner{-1};
+  std::vector<LaneOutcome> out(k + 1);
+
+  // Called by each lane thread right after its solver returns; `out[lane]`
+  // is the thread's own slot (no cross-lane reads before the join).
+  auto on_finish = [&](int lane) {
+    if (options.deterministic) {
+      // Winner rule: lane 0 if kSat, else CDCL. Cancellation may only
+      // remove lanes whose results can no longer affect that rule:
+      //  - lane 0 kSat        -> everything else is moot;
+      //  - CDCL kUnsat        -> lane 0 cannot possibly find a model;
+      //  - lane 0 + CDCL done -> lanes 1..K-1 were never consulted.
+      if (lane == 0) {
+        lane0_done.store(true);
+        if (out[0].res.kind == SatResult::Kind::kSat) cancel.store(true);
+      } else if (lane == cdcl_lane) {
+        cdcl_done.store(true);
+        if (out[static_cast<size_t>(cdcl_lane)].res.kind ==
+            SatResult::Kind::kUnsat) {
+          cancel.store(true);
+        }
+      }
+      if (lane0_done.load() && cdcl_done.load()) cancel.store(true);
+    } else {
+      // Racing: first definitive result wins and stops everyone else.
+      if (Definitive(out[static_cast<size_t>(lane)].res)) {
+        int expected = -1;
+        if (race_winner.compare_exchange_strong(expected, lane)) {
+          cancel.store(true);
+        }
+      }
+    }
+  };
+
+  auto run_lane = [&](int lane) {
+    LaneOutcome& o = out[static_cast<size_t>(lane)];
+    if (lane == cdcl_lane) {
+      CdclOptions c = options.cdcl;
+      c.cancel = &cancel;
+      o.res = SolveCdcl(cnf, c, &o.stats);
+    } else {
+      o.res = SolveWalkSat(cnf, LaneConfig(options, static_cast<size_t>(lane)),
+                           &o.stats, &cancel);
+    }
+    o.cancelled = o.res.kind == SatResult::Kind::kUnknown &&
+                  cancel.load(std::memory_order_relaxed);
+    on_finish(lane);
+  };
+
+  // Dedicated lane threads; the caller drives the CDCL lane so a
+  // K-walksat portfolio spawns exactly K threads. Barrier = join.
+  std::vector<std::thread> threads;
+  threads.reserve(k);
+  for (size_t lane = 0; lane < k; ++lane) {
+    threads.emplace_back(run_lane, static_cast<int>(lane));
+  }
+  run_lane(cdcl_lane);
+  for (std::thread& t : threads) t.join();
+
+  int winner;
+  if (options.deterministic) {
+    winner = out[0].res.kind == SatResult::Kind::kSat ? 0 : cdcl_lane;
+    if (!Definitive(out[static_cast<size_t>(winner)].res)) winner = -1;
+  } else {
+    winner = race_winner.load();
+    if (winner < 0) {
+      // Every lane gave up (conflict-capped CDCL): fixed fallback order.
+      for (size_t lane = 0; lane <= k; ++lane) {
+        if (Definitive(out[lane].res)) {
+          winner = static_cast<int>(lane);
+          break;
+        }
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->lanes = k + 1;
+    stats->threaded = true;
+    stats->winner_lane = winner;
+    for (const LaneOutcome& o : out) {
+      stats->totals.Accumulate(o.stats);
+      if (o.cancelled) ++stats->lanes_cancelled;
+    }
+  }
+  if (winner < 0) {
+    SatResult res;
+    res.kind = SatResult::Kind::kUnknown;
+    return res;
+  }
+  return out[static_cast<size_t>(winner)].res;
+}
+
+}  // namespace xvu

@@ -93,7 +93,8 @@ struct WalkState {
 
 }  // namespace
 
-SatResult SolveWalkSat(const Cnf& cnf, const WalkSatOptions& options) {
+SatResult SolveWalkSat(const Cnf& cnf, const WalkSatOptions& options,
+                       SatStats* stats, const std::atomic<bool>* cancel) {
   SatResult res;
   // Trivial edge cases.
   for (const auto& clause : cnf.clauses()) {
@@ -108,6 +109,11 @@ SatResult SolveWalkSat(const Cnf& cnf, const WalkSatOptions& options) {
   for (uint32_t t = 0; t < options.max_tries; ++t) {
     st.Init(&rng);
     for (uint32_t f = 0; f < options.max_flips; ++f) {
+      if ((f & 255) == 0 && cancel != nullptr &&
+          cancel->load(std::memory_order_relaxed)) {
+        res.kind = SatResult::Kind::kUnknown;
+        return res;
+      }
       if (st.unsat.empty()) {
         res.kind = SatResult::Kind::kSat;
         res.model = st.assign;
@@ -134,6 +140,7 @@ SatResult SolveWalkSat(const Cnf& cnf, const WalkSatOptions& options) {
         pick = VarOf(clause[rng.Below(clause.size())]);
       }
       st.Flip(pick);
+      if (stats != nullptr) ++stats->flips;
     }
   }
   res.kind = SatResult::Kind::kUnknown;

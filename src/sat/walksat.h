@@ -1,6 +1,7 @@
 #ifndef XVU_SAT_WALKSAT_H_
 #define XVU_SAT_WALKSAT_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "src/sat/cnf.h"
@@ -21,7 +22,15 @@ struct WalkSatOptions {
 /// the flip budget (WalkSAT is incomplete: it can never prove unsat —
 /// the paper reports the solver returning an assignment in 78% of its
 /// insertion workload).
-SatResult SolveWalkSat(const Cnf& cnf, const WalkSatOptions& options = {});
+///
+/// `stats` (optional) receives flip counts. `cancel` (optional) is a
+/// cooperative cancellation token, polled every few hundred flips: when a
+/// portfolio rival wins the race and sets it, the run returns kUnknown
+/// promptly instead of burning its remaining flip budget. The outcome for
+/// a given (cnf, options) is deterministic whenever the token never fires.
+SatResult SolveWalkSat(const Cnf& cnf, const WalkSatOptions& options = {},
+                       SatStats* stats = nullptr,
+                       const std::atomic<bool>* cancel = nullptr);
 
 }  // namespace xvu
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -10,8 +11,9 @@
 #include <utility>
 
 #include "src/common/thread_pool.h"
-#include "src/sat/dpll.h"
+#include "src/sat/cdcl.h"
 #include "src/sat/encoder.h"
+#include "src/sat/portfolio.h"
 #include "src/viewupdate/template_index.h"
 
 namespace xvu {
@@ -1077,15 +1079,24 @@ Result<InsertTranslation> TranslateGroupInsertion(
   if (!t.negative_conditions.empty()) {
     out.used_sat = true;
     SatResult res;
-    if (options.use_walksat) {
-      res = SolveWalkSat(enc.cnf(), options.walksat);
+    auto sat_t0 = std::chrono::steady_clock::now();
+    if (options.use_portfolio) {
+      PortfolioStats pstats;
+      res = SolvePortfolio(enc.cnf(), options.portfolio, &pstats);
+      out.sat_stats = pstats.totals;
+      out.sat_winner_lane = pstats.winner_lane;
+    } else if (options.use_walksat) {
+      res = SolveWalkSat(enc.cnf(), options.walksat, &out.sat_stats);
+      if (res.kind != SatResult::Kind::kSat && options.dpll_fallback) {
+        res = SolveCdcl(enc.cnf(), {}, &out.sat_stats);
+      }
     } else {
-      res = SolveDpll(enc.cnf());
+      res = SolveCdcl(enc.cnf(), {}, &out.sat_stats);
     }
-    if (res.kind != SatResult::Kind::kSat && options.dpll_fallback &&
-        options.use_walksat) {
-      res = SolveDpll(enc.cnf());
-    }
+    out.sat_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sat_t0)
+            .count();
     if (res.kind != SatResult::Kind::kSat) {
       return Status::Rejected(
           "insertion rejected: no side-effect-free assignment found (" +

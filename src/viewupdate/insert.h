@@ -5,6 +5,7 @@
 
 #include "src/common/status.h"
 #include "src/relational/database.h"
+#include "src/sat/portfolio.h"
 #include "src/sat/walksat.h"
 #include "src/viewupdate/delete.h"
 #include "src/viewupdate/view_store.h"
@@ -14,9 +15,18 @@ namespace xvu {
 class ThreadPool;
 
 struct InsertOptions {
-  /// Solve the side-effect encoding with WalkSAT (the paper's choice).
+  /// Solve the side-effect encoding with the SAT portfolio (K diversified
+  /// WalkSAT lanes racing one complete CDCL lane, src/sat/portfolio.h).
+  /// Deterministic by default: the fixed-priority winner makes the
+  /// translation bit-identical for any lane count or timing. Disable to
+  /// fall back to the legacy serial walksat -> complete-solver chain
+  /// below (A/B benchmarking).
+  bool use_portfolio = true;
+  PortfolioOptions portfolio;
+  /// Legacy chain (use_portfolio = false): solve with WalkSAT (the
+  /// paper's choice).
   bool use_walksat = true;
-  /// On WalkSAT kUnknown, retry with the complete DPLL solver before
+  /// On WalkSAT kUnknown, retry with the complete solver before
   /// rejecting. Disable to mirror the paper's 78%-success behaviour.
   bool dpll_fallback = true;
   WalkSatOptions walksat;
@@ -47,6 +57,12 @@ struct InsertTranslation {
   size_t num_tasks = 0;        ///< independent symbolic side-effect passes
   size_t num_candidates = 0;   ///< symbolic join work items examined
   bool used_sat = false;       ///< a solver run was needed
+  /// Solver observability (zero when used_sat is false): aggregated lane
+  /// counters, the portfolio winner (-1 none/legacy-chain; 0..K-1 WalkSAT
+  /// lane; K CDCL lane) and the solver wall time.
+  SatStats sat_stats;
+  int sat_winner_lane = -1;
+  double sat_seconds = 0;
 };
 
 /// Algorithm insert (Section 4.3 / Appendix A): translates a group of

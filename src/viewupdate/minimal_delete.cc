@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <queue>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -16,8 +17,56 @@ struct SourceRefHash {
   }
 };
 
+/// Greedy set cover, lazy-evaluated: a max-heap of (cached gain,
+/// candidate) where a popped entry's gain is re-checked against the
+/// current covered set and re-pushed when stale. Gains only ever shrink
+/// as elements get covered, so the first entry whose cached gain is still
+/// accurate is the true maximum — the classic lazy-greedy argument. This
+/// replaces the O(rounds x candidates x covers) full rescan with
+/// O(total_covers x log candidates), which is what lets the cover keep up
+/// with 100k-row bases. Ties break to the smallest candidate index, same
+/// as the old rescan loop, so results are unchanged.
+std::vector<size_t> LazyGreedyCover(
+    const std::vector<std::vector<size_t>>& covers, size_t num_elements) {
+  struct Entry {
+    size_t gain;
+    size_t cand;
+    bool operator<(const Entry& o) const {
+      return gain != o.gain ? gain < o.gain : cand > o.cand;
+    }
+  };
+  std::priority_queue<Entry> heap;
+  for (size_t c = 0; c < covers.size(); ++c) {
+    if (!covers[c].empty()) heap.push(Entry{covers[c].size(), c});
+  }
+  std::vector<uint8_t> covered(num_elements, 0);
+  std::vector<size_t> picked;
+  size_t remaining = num_elements;
+  while (remaining > 0 && !heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    size_t gain = 0;
+    for (size_t e : covers[top.cand]) gain += covered[e] == 0 ? 1 : 0;
+    if (gain == 0) continue;
+    if (gain != top.gain) {
+      heap.push(Entry{gain, top.cand});  // stale: re-rank and retry
+      continue;
+    }
+    picked.push_back(top.cand);
+    for (size_t e : covers[top.cand]) {
+      if (!covered[e]) {
+        covered[e] = 1;
+        --remaining;
+      }
+    }
+  }
+  return picked;
+}
+
 /// Exact minimum set cover by depth-first branch and bound over elements
-/// (∆V rows), ordered by fewest candidates first.
+/// (∆V rows), visited fewest-candidates-first so forced choices surface
+/// early, and seeded with the greedy solution as the initial upper bound
+/// so the size prune engages from the first branch.
 struct ExactCover {
   // candidate_of[e] = candidate indices usable for element e.
   std::vector<std::vector<size_t>> candidate_of;
@@ -25,33 +74,48 @@ struct ExactCover {
   std::vector<std::vector<size_t>> covers;
   size_t num_elements = 0;
 
+  std::vector<size_t> order;  // elements, fewest candidates first
   std::vector<uint8_t> chosen;
   std::vector<size_t> cover_count;  // per element
   std::vector<size_t> best;
   size_t chosen_count = 0;
 
-  void Dfs(size_t elem, std::vector<size_t>* current) {
-    while (elem < num_elements && cover_count[elem] > 0) ++elem;
-    if (elem == num_elements) {
+  /// Anytime budget: the search is exact when it completes, but worst
+  /// case exponential; after this many Dfs nodes it unwinds and returns
+  /// the best cover found so far — never worse than the greedy seed it
+  /// starts from.
+  static constexpr size_t kNodeBudget = size_t{1} << 22;
+  size_t nodes = 0;
+
+  void Dfs(size_t pos, std::vector<size_t>* current) {
+    if (++nodes > kNodeBudget) return;
+    while (pos < num_elements && cover_count[order[pos]] > 0) ++pos;
+    if (pos == num_elements) {
       if (best.empty() || current->size() < best.size()) best = *current;
       return;
     }
     if (!best.empty() && current->size() + 1 >= best.size()) return;
-    for (size_t c : candidate_of[elem]) {
+    for (size_t c : candidate_of[order[pos]]) {
       if (chosen[c]) continue;
       chosen[c] = 1;
       current->push_back(c);
       for (size_t e : covers[c]) ++cover_count[e];
-      Dfs(elem + 1, current);
+      Dfs(pos + 1, current);
       for (size_t e : covers[c]) --cover_count[e];
       current->pop_back();
       chosen[c] = 0;
     }
   }
 
-  std::vector<size_t> Solve() {
+  std::vector<size_t> Solve(const std::vector<size_t>& greedy_seed) {
     chosen.assign(covers.size(), 0);
     cover_count.assign(num_elements, 0);
+    order.resize(num_elements);
+    for (size_t e = 0; e < num_elements; ++e) order[e] = e;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return candidate_of[a].size() < candidate_of[b].size();
+    });
+    best = greedy_seed;
     std::vector<size_t> current;
     Dfs(0, &current);
     return best;
@@ -116,32 +180,13 @@ Result<RelationalUpdate> TranslateMinimalDeletion(
     }
   }
 
-  std::vector<size_t> picked;
+  // Greedy first (near-linear); exact branch-and-bound refines it on
+  // small-enough instances, using the greedy cardinality as its initial
+  // upper bound.
+  std::vector<size_t> picked =
+      LazyGreedyCover(cover.covers, deletions.size());
   if (candidates.size() <= exact_threshold) {
-    picked = cover.Solve();
-  } else {
-    // Greedy set cover: repeatedly take the candidate covering the most
-    // still-uncovered elements.
-    std::vector<uint8_t> covered(deletions.size(), 0);
-    size_t remaining = deletions.size();
-    while (remaining > 0) {
-      size_t best_c = 0, best_gain = 0;
-      for (size_t c = 0; c < candidates.size(); ++c) {
-        size_t gain = 0;
-        for (size_t e : cover.covers[c]) gain += covered[e] == 0 ? 1 : 0;
-        if (gain > best_gain) {
-          best_gain = gain;
-          best_c = c;
-        }
-      }
-      picked.push_back(best_c);
-      for (size_t e : cover.covers[best_c]) {
-        if (!covered[e]) {
-          covered[e] = 1;
-          --remaining;
-        }
-      }
-    }
+    picked = cover.Solve(picked);
   }
 
   RelationalUpdate dr;

@@ -13,11 +13,15 @@ namespace xvu {
 /// The minimal view deletion problem (Section 4.2): among all valid ∆R's
 /// for a group deletion ∆V, find one with the fewest tuple deletions.
 /// NP-complete even under key preservation (Theorem 3, by reduction from
-/// minimum set cover), so:
-///   - instances with at most `exact_threshold` distinct candidate source
-///     tuples are solved exactly by branch-and-bound;
-///   - larger instances use the greedy set-cover heuristic
-///     (ln(n)-approximate).
+/// minimum set cover), so every instance first runs the lazy-greedy
+/// set-cover heuristic (ln(n)-approximate; max-heap with stale-gain
+/// re-check, O(total_covers x log candidates)), and instances with at
+/// most `exact_threshold` distinct candidate source tuples are then
+/// solved exactly by branch-and-bound — elements visited
+/// fewest-candidates-first, greedy cardinality as the initial upper
+/// bound, an anytime node budget bounding the worst case (on
+/// exhaustion the best cover found so far is returned, never worse
+/// than the greedy seed).
 ///
 /// Semantics match TranslateGroupDeletion: every ∆V row must lose at least
 /// one side-effect-free source tuple; returns Rejected when impossible.
