@@ -22,12 +22,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/common/failpoint.h"
 #include "src/core/pipeline.h"
 
 namespace xvu {
@@ -257,6 +259,52 @@ int Run() {
               par_min);
   check(par_identical, "parallel ApplyBatch bit-identical to serial");
   check(par_speedup >= par_min, "parallel run meets the speedup bar");
+
+  // (e) Fail-point overhead guard: the injection sites compiled into the
+  // pipeline must be invisible when disarmed. Count how many checks one
+  // batch actually crosses (count-only arming), measure the disarmed
+  // per-check cost in a tight loop, and require their product to stay
+  // under 2% of the median batch time measured above.
+  UpdateBatch batch4;
+  for (size_t i = 0; i < num_ops; ++i) {
+    int64_t id = 80000000 + static_cast<int64_t>(i);
+    std::string s = "insert C(" + std::to_string(id) + ", " +
+                    std::to_string(id % 100) + ") into " + path;
+    if (!batch4.Add(s, ser->atg()).ok()) return 1;
+  }
+  FailPoints::Instance().ArmAllCounting();
+  st = ser->ApplyBatch(batch4);
+  uint64_t checks_per_batch = 0;
+  for (const std::string& site : FailPoints::AllSites()) {
+    checks_per_batch += FailPoints::Instance().HitCount(site);
+  }
+  FailPoints::Instance().DisarmAll();
+  if (!st.ok()) {
+    std::fprintf(stderr, "counting batch failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  constexpr size_t kProbes = 1 << 22;
+  size_t fired = 0;
+  t0 = Clock::now();
+  for (size_t i = 0; i < kProbes; ++i) {
+    // The disarmed fast path of every site: one relaxed atomic load
+    // plus a not-taken branch.
+    fired += XVU_FAIL_POINT_HIT(failpoints::kBatchApplyPublish) ? 1 : 0;
+  }
+  double per_check_seconds = SecondsSince(t0) / kProbes;
+  double overhead_seconds =
+      per_check_seconds * static_cast<double>(checks_per_batch);
+  double overhead_pct =
+      ser_times[1] > 0 ? 100.0 * overhead_seconds / ser_times[1] : 0.0;
+  std::printf("  failpoints: %llu checks/batch x %.2f ns = %.3f us "
+              "(%.4f%% of median batch, budget 2%%)\n",
+              static_cast<unsigned long long>(checks_per_batch),
+              per_check_seconds * 1e9, overhead_seconds * 1e6, overhead_pct);
+  check(fired == 0, "disarmed fail point never fires");
+  check(checks_per_batch > 0, "the batch crosses at least one site");
+  check(overhead_pct < 2.0,
+        "disabled fail-point checks cost < 2% of a batch");
   return failures == 0 ? 0 : 1;
 }
 

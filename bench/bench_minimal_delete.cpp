@@ -41,6 +41,12 @@ namespace xvu {
 namespace bench {
 namespace {
 
+MinimalDeleteOptions Threshold(size_t exact_threshold) {
+  MinimalDeleteOptions o;
+  o.exact_threshold = exact_threshold;
+  return o;
+}
+
 int failures = 0;
 void Check(bool ok, const std::string& what) {
   std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
@@ -265,14 +271,14 @@ std::vector<DeleteRow> RunMinimalDeleteSweep() {
     row.greedy_s = MedianSeconds(
         [&] {
           greedy = TranslateMinimalDeletion(sys->store(), sys->database(),
-                                            dv, 0);
+                                            dv, Threshold(0));
         },
         3, 1);
     Result<RelationalUpdate> exact = Status::Internal("unset");
     row.exact_s = MedianSeconds(
         [&] {
           exact = TranslateMinimalDeletion(sys->store(), sys->database(),
-                                           dv, 512);
+                                           dv, Threshold(512));
         },
         3, 1);
     Check(greedy.ok() == exact.ok(),

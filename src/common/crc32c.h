@@ -1,0 +1,34 @@
+#ifndef XVU_COMMON_CRC32C_H_
+#define XVU_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xvu {
+namespace crc32c {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) —
+/// the checksum used by the XVUR on-disk format. Software slice-by-8
+/// table implementation: no hardware intrinsics, no dependencies,
+/// byte-order independent output.
+uint32_t Extend(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Value(const void* data, size_t n) {
+  return Extend(0, data, n);
+}
+
+/// Masking in the LevelDB style: a raw CRC stored alongside the data it
+/// covers would itself checksum to a fixed pattern; storing the masked
+/// value avoids that degenerate case.
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t Unmask(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace crc32c
+}  // namespace xvu
+
+#endif  // XVU_COMMON_CRC32C_H_

@@ -1,0 +1,67 @@
+#ifndef XVU_COMMON_DEADLINE_H_
+#define XVU_COMMON_DEADLINE_H_
+
+#include <chrono>
+#include <limits>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace xvu {
+
+/// A point in time after which an operation should give up. The
+/// default-constructed Deadline is infinite (never expires), so it can
+/// be threaded through Options unconditionally with zero behavioural
+/// change until a caller sets one.
+///
+/// Expiry is polled, not signalled: long-running loops (SAT search,
+/// branch-and-bound cover) call expired() at coarse intervals — the
+/// steady_clock read costs tens of nanoseconds, so polling every ~1k
+/// iterations keeps overhead invisible. On expiry the operation either
+/// degrades (anytime search returns its incumbent) or rejects with
+/// StatusCode::kDeadlineExceeded after rolling back partial state.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Infinite deadline: never expires.
+  Deadline() : at_(Clock::time_point::max()) {}
+  explicit Deadline(Clock::time_point at) : at_(at) {}
+
+  /// A deadline `seconds` from now. Non-positive values are already
+  /// expired (useful in tests).
+  static Deadline After(double seconds) {
+    return Deadline(Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(seconds)));
+  }
+  static Deadline Infinite() { return Deadline(); }
+
+  bool infinite() const { return at_ == Clock::time_point::max(); }
+  bool expired() const { return !infinite() && Clock::now() >= at_; }
+
+  /// Seconds until expiry; +inf when infinite, clamped at 0 when past.
+  double remaining_seconds() const {
+    if (infinite()) return std::numeric_limits<double>::infinity();
+    const double s =
+        std::chrono::duration<double>(at_ - Clock::now()).count();
+    return s > 0 ? s : 0.0;
+  }
+
+ private:
+  Clock::time_point at_;
+};
+
+/// Poll helper for pipeline checkpoints: kDeadlineExceeded naming the
+/// checkpoint where the budget ran out, OK otherwise.
+inline Status CheckDeadline(const Deadline& d, const char* where) {
+  if (d.expired()) {
+    return Status::DeadlineExceeded(std::string("deadline expired at ") +
+                                    where);
+  }
+  return Status::OK();
+}
+
+}  // namespace xvu
+
+#endif  // XVU_COMMON_DEADLINE_H_

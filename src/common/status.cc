@@ -16,6 +16,12 @@ std::string Status::ToString() const {
       return "Rejected: " + msg_;
     case StatusCode::kInternal:
       return "Internal: " + msg_;
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded: " + msg_;
+    case StatusCode::kUnavailable:
+      return "Unavailable: " + msg_;
+    case StatusCode::kDataLoss:
+      return "DataLoss: " + msg_;
   }
   return "Unknown";
 }

@@ -26,6 +26,16 @@ enum class StatusCode {
   kRejected,
   /// Internal invariant breakage; indicates a library bug.
   kInternal,
+  /// A time budget (Deadline) expired before the operation finished.
+  /// The system state is unchanged: translation work is rolled back.
+  kDeadlineExceeded,
+  /// A required resource is transiently missing (e.g. the ∆V journal
+  /// window needed for an incremental rewind was evicted). Retrying
+  /// after a resync may succeed.
+  kUnavailable,
+  /// Stored bytes failed an integrity check (bad magic, checksum
+  /// mismatch, impossible lengths). The file must not be trusted.
+  kDataLoss,
 };
 
 /// Lightweight status object carrying a code and a message.
@@ -51,9 +61,23 @@ class Status {
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
   }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status DataLoss(std::string m) {
+    return Status(StatusCode::kDataLoss, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsRejected() const { return code_ == StatusCode::kRejected; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }
 

@@ -1,12 +1,29 @@
 #include "src/common/thread_pool.h"
 
+#include <system_error>
+
+#include "src/common/failpoint.h"
+
 namespace xvu {
 
 ThreadPool::ThreadPool(size_t workers) : workers_(workers < 1 ? 1 : workers) {
-  threads_.reserve(workers_ - 1);
-  for (size_t i = 0; i + 1 < workers_; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+  const size_t wanted = workers_ - 1;
+  threads_.reserve(wanted);
+  for (size_t i = 0; i < wanted; ++i) {
+    if (XVU_FAIL_POINT_HIT(failpoints::kThreadPoolSpawn)) {
+      spawn_failures_ = wanted - i;
+      break;
+    }
+    try {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    } catch (const std::system_error&) {
+      // Resource exhaustion: degrade to the lanes we have rather than
+      // propagate out of a constructor mid-pipeline.
+      spawn_failures_ = wanted - i;
+      break;
+    }
   }
+  workers_ = threads_.size() + 1;
 }
 
 ThreadPool::~ThreadPool() {

@@ -28,7 +28,11 @@ class ThreadPool {
  public:
   /// Spawns `workers - 1` persistent threads (a pool of 1 spawns none and
   /// ParallelFor degenerates to a serial loop). `workers` is clamped to at
-  /// least 1.
+  /// least 1. Thread-creation failure (resource exhaustion) degrades
+  /// instead of throwing: the pool keeps the lanes it managed to spawn —
+  /// in the worst case none, a serial pool — and records the failure in
+  /// spawn_failures(). Results are unaffected either way (the ParallelFor
+  /// protocol is bit-identical for any lane count).
   explicit ThreadPool(size_t workers);
   ~ThreadPool();
 
@@ -37,6 +41,9 @@ class ThreadPool {
 
   /// Concurrent lanes ParallelFor runs with (spawned threads + caller).
   size_t workers() const { return workers_; }
+
+  /// Worker threads that could not be spawned at construction.
+  size_t spawn_failures() const { return spawn_failures_; }
 
   /// Runs fn(i) for every i in [0, n), blocking until all calls returned.
   /// `fn` must not throw and must not call ParallelFor recursively.
@@ -49,6 +56,7 @@ class ThreadPool {
                     std::atomic<size_t>* next);
 
   size_t workers_;
+  size_t spawn_failures_ = 0;
   std::vector<std::thread> threads_;
 
   std::mutex mu_;

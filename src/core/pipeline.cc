@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/failpoint.h"
 #include "src/core/delta_eval.h"
 #include "src/core/system.h"
 #include "src/core/translate.h"
@@ -47,8 +48,66 @@ void PathEvalCache::Touch(Entry* e) {
 
 void PathEvalCache::EraseEntry(
     std::unordered_map<std::string, Entry>::iterator it) {
+  SaveForScope(it->first);
   recency_.erase(it->second.recency_it);
   entries_.erase(it);
+}
+
+void PathEvalCache::SaveForScope(const std::string& key) {
+  if (!scope_active_ || scope_saved_.count(key) > 0) return;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    scope_saved_.emplace(key, std::nullopt);
+  } else {
+    scope_saved_.emplace(
+        key, std::make_pair(it->second.version, it->second.eval));
+  }
+}
+
+void PathEvalCache::BeginScope() {
+  std::lock_guard<std::mutex> lock(mu_);
+  scope_saved_.clear();
+  scope_active_ = true;
+}
+
+void PathEvalCache::CommitScope() {
+  std::lock_guard<std::mutex> lock(mu_);
+  scope_saved_.clear();
+  scope_active_ = false;
+}
+
+void PathEvalCache::RollbackScope(uint64_t rewound_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!scope_active_) return;  // e.g. a Clear() resync already ran
+  scope_active_ = false;       // restores below must not re-record
+  for (auto& [key, saved] : scope_saved_) {
+    auto it = entries_.find(key);
+    // Evaluations and forward patches stamped at or before the rewound
+    // version stay valid after the rewind (the batch evaluated against
+    // the pre-mutation snapshot); keep the fresher copy.
+    if (it != entries_.end() && it->second.version <= rewound_version) {
+      continue;
+    }
+    if (it != entries_.end()) EraseEntry(it);
+    if (saved.has_value() && saved->first <= rewound_version) {
+      auto [nit, inserted] = entries_.try_emplace(key);
+      Entry& e = nit->second;
+      e.version = saved->first;
+      e.eval = std::move(saved->second);
+      e.recency_it = recency_.insert(recency_.end(), &nit->first);
+    }
+  }
+  scope_saved_.clear();
+  // Canonicalize the eviction order (version, then key): restores above
+  // appended in map-iteration order, and Compact must stay deterministic
+  // across a rollback.
+  // list::sort moves nodes, not elements, so every recency_it stays
+  // bound to its entry.
+  recency_.sort([this](const std::string* a, const std::string* b) {
+    const Entry& ea = entries_.at(*a);
+    const Entry& eb = entries_.at(*b);
+    return ea.version != eb.version ? ea.version < eb.version : *a < *b;
+  });
 }
 
 const EvalResult* PathEvalCache::Lookup(const std::string& key,
@@ -90,6 +149,7 @@ const EvalResult* PathEvalCache::LookupOrPatch(const std::string& key,
     set_outcome(Outcome::kHit);
     return &e.eval.result;
   }
+  SaveForScope(it->first);  // the patch below mutates the entry in place
   if (dag.JournalCovers(e.version) &&
       TryPatchEval(dag, topo, reach, dag.JournalSince(e.version), &e.eval)) {
     e.version = dag.version();
@@ -109,6 +169,7 @@ const EvalResult* PathEvalCache::LookupOrPatch(const std::string& key,
 const EvalResult* PathEvalCache::Store(std::string key, uint64_t dag_version,
                                        CachedEval eval) {
   std::lock_guard<std::mutex> lock(mu_);
+  SaveForScope(key);
   auto [it, inserted] = entries_.try_emplace(std::move(key));
   Entry& e = it->second;
   if (inserted) {
@@ -141,6 +202,10 @@ void PathEvalCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   recency_.clear();
+  // A Clear is a resync: restoring pre-scope entries afterwards would
+  // resurrect results keyed against a restarted version counter.
+  scope_saved_.clear();
+  scope_active_ = false;
 }
 
 std::string PathEvalCache::DebugFingerprint() const {
@@ -200,6 +265,30 @@ Status UpdateSystem::ApplyBatch(const UpdateBatch& batch) {
   stats_ = UpdateStats{};
   stats_.batch_ops = batch.size();
   if (batch.empty()) return Status::OK();
+  WriteUndo ctx;
+  ctx.snapshot_version = dag_.version();
+  if (options_.op_timeout_seconds > 0) {
+    ctx.deadline = Deadline::After(options_.op_timeout_seconds);
+  }
+  // The eval-cache scope repairs the cache if the batch fails: entries
+  // the batch displaced (evictions, unpatchable drops) come back, while
+  // its snapshot-version evaluations are kept — valid after the rewind,
+  // so resubmitting a rejected batch hits them.
+  eval_cache_.BeginScope();
+  Status st = ApplyBatchImpl(batch, &ctx);
+  if (st.ok()) {
+    eval_cache_.CommitScope();
+    return st;
+  }
+  Status rb = RollbackWrite(ctx);
+  // After a RollbackWrite resync (journal window evicted) the cache was
+  // Clear()ed, which discards the scope; RollbackScope is then a no-op.
+  eval_cache_.RollbackScope(ctx.snapshot_version);
+  if (!rb.ok()) return rb;
+  return st;
+}
+
+Status UpdateSystem::ApplyBatchImpl(const UpdateBatch& batch, WriteUndo* ctx) {
   const std::vector<XmlUpdate>& ops = batch.ops();
 
   // ---- Phase 0: schema-level validation of every op, before any work.
@@ -340,6 +429,8 @@ Status UpdateSystem::ApplyBatch(const UpdateBatch& batch) {
   }
   auto t1 = Clock::now();
   stats_.xpath_seconds = Seconds(t0, t1);
+  XVU_RETURN_NOT_OK(CheckDeadline(ctx->deadline, "batch: XPath evaluated"));
+  XVU_FAIL_POINT(failpoints::kBatchAfterEval);
 
   // ---- Phase 2: intra-batch conflict detection (still read-only).
   // (a) Two delete ops selecting the same view edge.
@@ -406,15 +497,20 @@ Status UpdateSystem::ApplyBatch(const UpdateBatch& batch) {
     }
   }
 
+  XVU_FAIL_POINT(failpoints::kBatchAfterConflicts);
+
   // ---- Phase 3: one consolidated ∆V → ∆R translation.
   // Deletes: every selected edge's witness rows, in one group.
   XVU_ASSIGN_OR_RETURN(std::vector<ViewRowOp> del_dv,
                        XDeleteRows(store_, dag_, del_edges));
   RelationalUpdate dr;
   if (!del_dv.empty()) {
+    MinimalDeleteOptions del_options;
+    del_options.deadline = ctx->deadline;
     XVU_ASSIGN_OR_RETURN(dr, options_.minimal_deletions
                                  ? TranslateMinimalDeletion(store_, db_,
-                                                            del_dv)
+                                                            del_dv,
+                                                            del_options)
                                  : TranslateGroupDeletion(store_, db_,
                                                           del_dv));
   }
@@ -456,6 +552,9 @@ Status UpdateSystem::ApplyBatch(const UpdateBatch& batch) {
     // total budget the ops would have had sequentially.
     InsertOptions ins_options = options_.insert;
     ins_options.max_symbolic_candidates *= plans.size();
+    if (ins_options.deadline.infinite()) {
+      ins_options.deadline = ctx->deadline;
+    }
     XVU_ASSIGN_OR_RETURN(
         InsertTranslation tr,
         TranslateGroupInsertion(store_, db_, ins_dv, ins_options, pool()));
@@ -473,52 +572,24 @@ Status UpdateSystem::ApplyBatch(const UpdateBatch& batch) {
   stats_.delta_v = del_dv.size() + ins_dv.size();
   stats_.delta_r = dr.ops.size();
   XVU_RETURN_NOT_OK(CheckRelationalConflicts(dr, db_));
+  XVU_RETURN_NOT_OK(CheckDeadline(ctx->deadline, "batch: translated"));
+  XVU_FAIL_POINT(failpoints::kBatchAfterTranslate);
 
-  // ---- Phase 4: apply — ∆R in one pass, then the view-side changes,
-  // journaling everything for all-or-nothing rollback.
-  std::vector<TableOp> undo;
-  XVU_RETURN_NOT_OK(ApplyDeltaRTracked(dr, &undo));
-
-  std::vector<std::pair<NodeId, NodeId>> removed_edges;
-  std::vector<ViewRowOp> removed_rows;
-  std::vector<Publisher::SubtreeResult> published;
-  std::vector<std::pair<NodeId, NodeId>> added_edges;
-  std::vector<ViewRowOp> added_rows;
-  auto rollback_all = [&]() {
-    for (auto it = added_rows.rbegin(); it != added_rows.rend(); ++it) {
-      (void)store_.RemoveEdgeRow(it->view_name, it->row);
-    }
-    for (auto it = added_edges.rbegin(); it != added_edges.rend(); ++it) {
-      (void)dag_.RemoveEdge(it->first, it->second);
-    }
-    for (auto it = published.rbegin(); it != published.rend(); ++it) {
-      RollbackSubtree(*it);
-    }
-    for (auto it = removed_rows.rbegin(); it != removed_rows.rend(); ++it) {
-      (void)store_.AddEdgeRow(it->view_name, it->row);
-    }
-    for (auto it = removed_edges.rbegin(); it != removed_edges.rend(); ++it) {
-      (void)dag_.AddEdge(it->first, it->second);
-    }
-    Rollback(undo);
-  };
+  // ---- Phase 4: apply — ∆R in one pass, then the view-side changes.
+  // Every mutation from here on is recorded in `ctx` (or lands in the ∆V
+  // journal, which RollbackWrite rewinds), so a failure at ANY point —
+  // including an injected one — just returns: the ApplyBatch wrapper
+  // restores the pre-batch state bit-identically.
+  XVU_RETURN_NOT_OK(ApplyDeltaRTracked(dr, &ctx->undo));
 
   // 4a: deletes — drop the selected edges and their witness rows.
   for (const auto& [u, v] : del_edges) {
-    Status st = dag_.RemoveEdge(u, v);
-    if (!st.ok()) {
-      rollback_all();
-      return st;
-    }
-    removed_edges.emplace_back(u, v);
+    XVU_RETURN_NOT_OK(dag_.RemoveEdge(u, v));
   }
   for (const ViewRowOp& op : del_dv) {
-    Status st = store_.RemoveEdgeRow(op.view_name, op.row);
-    if (!st.ok()) {
-      rollback_all();
-      return st;
-    }
-    removed_rows.push_back(op);
+    XVU_FAIL_POINT(failpoints::kBatchApplyDelete);
+    XVU_RETURN_NOT_OK(store_.RemoveEdgeRow(op.view_name, op.row));
+    ctx->removed_rows.push_back(op);
   }
 
   // 4b: inserts — publish each distinct subtree once, connect all targets.
@@ -532,21 +603,19 @@ Status UpdateSystem::ApplyBatch(const UpdateBatch& batch) {
     if (rit != roots.end()) {
       root = rit->second;
     } else {
-      auto sub = pub.PublishSubtree(op.elem_type, op.attr, &dag_, &store_);
-      if (!sub.ok()) {
-        rollback_all();
-        return sub.status();
-      }
-      if (sub->cyclic) {
-        RollbackSubtree(*sub);
-        rollback_all();
+      XVU_ASSIGN_OR_RETURN(
+          Publisher::SubtreeResult sub,
+          pub.PublishSubtree(op.elem_type, op.attr, &dag_, &store_));
+      const bool cyclic = sub.cyclic;
+      stats_.subtree_edges += sub.new_edges.size();
+      root = sub.root;
+      ctx->published.push_back(std::move(sub));
+      if (cyclic) {
         return Status::Rejected("subtree of " +
                                 OpLabel(plan.op_index, op) +
                                 " makes the view cyclic");
       }
-      stats_.subtree_edges += sub->new_edges.size();
-      root = sub->root;
-      published.push_back(std::move(*sub));
+      XVU_FAIL_POINT(failpoints::kBatchApplyPublish);
       roots.emplace(root_key, root);
     }
     // Cycle guard against the live DAG: it already contains every earlier
@@ -556,7 +625,6 @@ Status UpdateSystem::ApplyBatch(const UpdateBatch& batch) {
     std::unordered_set<NodeId> cone_set(cone.begin(), cone.end());
     for (NodeId u : evals[plan.op_index]->selected) {
       if (cone_set.count(u) > 0) {
-        rollback_all();
         return Status::Rejected("inserting (" + op.elem_type +
                                 ", ...) in " + OpLabel(plan.op_index, op) +
                                 " would make the view cyclic");
@@ -564,45 +632,39 @@ Status UpdateSystem::ApplyBatch(const UpdateBatch& batch) {
     }
     const std::vector<NodeId>& targets = evals[plan.op_index]->selected;
     for (size_t k = 0; k < targets.size(); ++k) {
-      if (dag_.AddEdge(targets[k], root)) {
-        added_edges.emplace_back(targets[k], root);
-      }
+      (void)dag_.AddEdge(targets[k], root);
       // Fix the child_id placeholder and materialize the witness row.
       Tuple row = plan.dv[k].row;
       row[1] = Value::Int(static_cast<int64_t>(root));
-      Status st = store_.AddEdgeRow(plan.dv[k].view_name, row);
-      if (!st.ok()) {
-        rollback_all();
-        return st;
-      }
-      added_rows.push_back(ViewRowOp{plan.dv[k].view_name, std::move(row)});
+      XVU_FAIL_POINT(failpoints::kBatchApplyConnect);
+      XVU_RETURN_NOT_OK(store_.AddEdgeRow(plan.dv[k].view_name, row));
+      ctx->added_rows.push_back(
+          ViewRowOp{plan.dv[k].view_name, std::move(row)});
     }
   }
   auto t2 = Clock::now();
   stats_.translate_seconds = Seconds(t1, t2);
+  XVU_RETURN_NOT_OK(CheckDeadline(ctx->deadline, "batch: applied"));
 
   // ---- Phase 5: one deferred maintenance pass for the whole batch. The
   // engine consumes the ∆V journal the mutations above produced and picks
   // incremental merge vs full rebuild per the cost model (or the forced
-  // strategy from Options).
+  // strategy from Options). A failure here (unreachable if the cycle
+  // guards above are correct, but reachable through fault injection)
+  // rolls the WHOLE batch back — including the already-applied ∆R — via
+  // the wrapper; maintenance's own garbage collection is journaled, so
+  // the rewind undoes it along with the batch's mutations.
+  ctx->maintenance_started = true;
+  XVU_FAIL_POINT(failpoints::kBatchBeforeMaintain);
   MaintenanceEngine::BatchOptions maintain_options;
   maintain_options.strategy = options_.maintenance;
   MaintenanceEngine::BatchReport report;
-  Status ms = engine_.MaintainBatch(&dag_, maintain_options, &report);
-  if (!ms.ok()) {
-    // Unreachable if the cycle guards above are correct. Maintenance may
-    // have garbage-collected parts the undo log does not cover, so an
-    // undo-based rollback would be incoherent; the batch's ∆R is already
-    // durable, and a full resync from the base rebuilds every structure
-    // consistently with it.
-    Status resync = Initialize();
-    if (!resync.ok()) return resync;
-    return ms;
-  }
+  XVU_RETURN_NOT_OK(engine_.MaintainBatch(&dag_, maintain_options, &report));
+  XVU_FAIL_POINT(failpoints::kBatchMaintain);
   stats_.maintenance_passes = 1;
   stats_.maintenance_strategy = report.used;
   stats_.journal_entries_replayed = report.journal_entries_replayed;
-  XVU_RETURN_NOT_OK(ReclaimCollected(report.delta));
+  XVU_RETURN_NOT_OK(ReclaimCollected(report.delta, ctx));
   stats_.maintain_seconds = Seconds(t2, Clock::now());
   return Status::OK();
 }

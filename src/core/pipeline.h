@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <list>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/core/evaluator.h"
@@ -112,6 +114,25 @@ class PathEvalCache {
 
   void Clear();
 
+  /// Batch scope: between BeginScope and Commit/RollbackScope, every
+  /// displaced entry (evicted by Compact, dropped as unpatchable,
+  /// overwritten by Store, or patched forward in place) is preserved.
+  /// RollbackScope(rewound_version) repairs the cache after the DAG was
+  /// rewound to `rewound_version`: entries whose stamp still precedes the
+  /// rewound version are KEPT — a batch evaluates every path against the
+  /// pre-mutation snapshot, so its stores and forward patches remain
+  /// valid after the rewind, and a resubmitted batch hits them — while
+  /// entries stamped past the rewind point are dropped and every
+  /// displaced pre-scope entry is reinstated. Only first-touch copies
+  /// are taken, so the cost is one entry copy per distinct path the
+  /// batch patches plus moves for entries that were being discarded
+  /// anyway. CommitScope drops the records; Clear() discards an active
+  /// scope (a full resync must not restore stale entries against a
+  /// restarted version counter). Scopes do not nest.
+  void BeginScope();
+  void CommitScope();
+  void RollbackScope(uint64_t rewound_version);
+
   size_t size() const { return entries_.size(); }
   const Stats& stats() const { return stats_; }
 
@@ -132,12 +153,20 @@ class PathEvalCache {
   void Touch(Entry* e);
   /// Erases one entry and its recency node.
   void EraseEntry(std::unordered_map<std::string, Entry>::iterator it);
+  /// Records `key`'s pre-scope state (mu_ held): its current (version,
+  /// eval) if present, absence otherwise. First touch per key wins.
+  void SaveForScope(const std::string& key);
 
   std::unordered_map<std::string, Entry> entries_;
   /// Keys ordered oldest version first; pointers into entries_' keys
   /// (node-based, stable until erase).
   std::list<const std::string*> recency_;
   Stats stats_;
+  /// Active batch scope: pre-scope (version, eval) per touched key;
+  /// nullopt marks a key that did not exist at BeginScope.
+  bool scope_active_ = false;
+  std::unordered_map<std::string, std::optional<std::pair<uint64_t, CachedEval>>>
+      scope_saved_;
   mutable std::mutex mu_;
 };
 

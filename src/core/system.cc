@@ -1,8 +1,10 @@
 #include "src/core/system.h"
 
+#include <algorithm>
 #include <chrono>
 #include <unordered_set>
 
+#include "src/common/failpoint.h"
 #include "src/core/translate.h"
 #include "src/dtd/validate.h"
 #include "src/viewupdate/minimal_delete.h"
@@ -67,33 +69,33 @@ Result<EvalResult> UpdateSystem::Query(const std::string& xpath) const {
 
 Status UpdateSystem::ApplyDeltaRTracked(const RelationalUpdate& dr,
                                         std::vector<TableOp>* undo) {
+  // On failure the partial ∆R is rolled back here and `undo` cleared, so
+  // callers' own rollback paths (RollbackWrite) see nothing left to undo.
+  auto fail = [&](Status st) {
+    Rollback(*undo);
+    undo->clear();
+    return st;
+  };
   for (const TableOp& op : dr.ops) {
     Table* t = db_.GetTable(op.table);
     if (t == nullptr) {
-      Rollback(*undo);
-      return Status::NotFound("table " + op.table);
+      return fail(Status::NotFound("table " + op.table));
     }
     if (op.kind == TableOp::Kind::kInsert) {
       Tuple key = t->schema().KeyOf(op.row);
       const Tuple* existing = t->FindByKey(key);
       if (existing != nullptr) {
         if (*existing == op.row) continue;  // no-op, nothing to undo
-        Rollback(*undo);
-        return Status::Rejected("∆R insert conflicts with existing tuple " +
-                                TupleToString(*existing) + " in " + op.table);
+        return fail(
+            Status::Rejected("∆R insert conflicts with existing tuple " +
+                             TupleToString(*existing) + " in " + op.table));
       }
       Status st = t->Insert(op.row);
-      if (!st.ok()) {
-        Rollback(*undo);
-        return st;
-      }
+      if (!st.ok()) return fail(st);
       undo->push_back(TableOp{TableOp::Kind::kDelete, op.table, op.row});
     } else {
       Status st = t->DeleteByKey(t->schema().KeyOf(op.row));
-      if (!st.ok()) {
-        Rollback(*undo);
-        return st;
-      }
+      if (!st.ok()) return fail(st);
       undo->push_back(TableOp{TableOp::Kind::kInsert, op.table, op.row});
     }
   }
@@ -112,10 +114,7 @@ void UpdateSystem::Rollback(const std::vector<TableOp>& undo) {
   }
 }
 
-void UpdateSystem::RollbackSubtree(const Publisher::SubtreeResult& st) {
-  for (auto it = st.new_edges.rbegin(); it != st.new_edges.rend(); ++it) {
-    (void)dag_.RemoveEdge(it->first, it->second);
-  }
+void UpdateSystem::UnpublishSubtreeRows(const Publisher::SubtreeResult& st) {
   for (auto it = st.new_nodes.rbegin(); it != st.new_nodes.rend(); ++it) {
     NodeId n = *it;
     const std::string& type = dag_.node(n).type;
@@ -131,11 +130,65 @@ void UpdateSystem::RollbackSubtree(const Publisher::SubtreeResult& st) {
       for (const Tuple& r : rows) (void)store_.RemoveEdgeRow(vn, r);
     }
     (void)store_.RemoveGenRow(type, static_cast<int64_t>(n));
-    (void)dag_.RemoveNode(n);
   }
 }
 
-Status UpdateSystem::ReclaimCollected(const MaintenanceDelta& delta) {
+void UpdateSystem::RollbackSubtree(const Publisher::SubtreeResult& st) {
+  for (auto it = st.new_edges.rbegin(); it != st.new_edges.rend(); ++it) {
+    (void)dag_.RemoveEdge(it->first, it->second);
+  }
+  UnpublishSubtreeRows(st);
+  for (auto it = st.new_nodes.rbegin(); it != st.new_nodes.rend(); ++it) {
+    (void)dag_.RemoveNode(*it);
+  }
+}
+
+Status UpdateSystem::RollbackWrite(const WriteUndo& ctx) {
+  // Store rows first, newest phase first, while the DAG still has the
+  // batch's nodes: reclaimed-row restores read nothing, but the
+  // unpublish pass below resolves node labels, and restoring reclaim
+  // before unpublish means a row belonging to a batch-created node is
+  // first re-added and then swept away with its subtree.
+  for (auto it = ctx.reclaimed_gen_rows.rbegin();
+       it != ctx.reclaimed_gen_rows.rend(); ++it) {
+    (void)store_.AddGenRow(std::get<0>(*it), std::get<1>(*it),
+                           std::get<2>(*it));
+  }
+  for (auto it = ctx.reclaimed_edge_rows.rbegin();
+       it != ctx.reclaimed_edge_rows.rend(); ++it) {
+    (void)store_.AddEdgeRow(it->view_name, it->row);
+  }
+  for (auto it = ctx.added_rows.rbegin(); it != ctx.added_rows.rend(); ++it) {
+    (void)store_.RemoveEdgeRow(it->view_name, it->row);
+  }
+  for (auto it = ctx.published.rbegin(); it != ctx.published.rend(); ++it) {
+    UnpublishSubtreeRows(*it);
+  }
+  for (auto it = ctx.removed_rows.rbegin(); it != ctx.removed_rows.rend();
+       ++it) {
+    (void)store_.AddEdgeRow(it->view_name, it->row);
+  }
+  Rollback(ctx.undo);
+  Status rewind = dag_.RewindTo(ctx.snapshot_version);
+  if (!rewind.ok()) {
+    // The bounded journal evicted part of the rewind window (only
+    // possible for batches with > capacity mutations): the exact rewind
+    // is impossible, but the base ∆R above is already restored, so a
+    // full resync rebuilds every derived structure consistently.
+    return Initialize();
+  }
+  if (ctx.maintenance_started) {
+    // M, L, and the cursor may reflect the undone mutations; rebuild
+    // them for the rewound DAG. Rebuild is deterministic and (by the
+    // maintenance fuzz's guarantee) bit-identical to what incremental
+    // maintenance would have produced at this version.
+    XVU_RETURN_NOT_OK(engine_.Rebuild(dag_));
+  }
+  return Status::OK();
+}
+
+Status UpdateSystem::ReclaimCollected(const MaintenanceDelta& delta,
+                                      WriteUndo* ctx) {
   for (const auto& [u, v] : delta.orphan_edges) {
     // Types must be read before the node rows are reclaimed; dead nodes
     // are tombstoned but their labels remain accessible.
@@ -146,14 +199,130 @@ Status UpdateSystem::ReclaimCollected(const MaintenanceDelta& delta) {
     for (const Tuple& row :
          store_.EdgeRowsFor(info->name, static_cast<int64_t>(u),
                             static_cast<int64_t>(v))) {
+      XVU_FAIL_POINT(failpoints::kBatchReclaim);
       XVU_RETURN_NOT_OK(store_.RemoveEdgeRow(info->name, row));
+      if (ctx != nullptr) {
+        ctx->reclaimed_edge_rows.push_back(ViewRowOp{info->name, row});
+      }
     }
   }
   for (NodeId n : delta.removed_nodes) {
-    XVU_RETURN_NOT_OK(
-        store_.RemoveGenRow(dag_.node(n).type, static_cast<int64_t>(n)));
+    XVU_FAIL_POINT(failpoints::kBatchReclaim);
+    const DagView::Node& nd = dag_.node(n);
+    XVU_RETURN_NOT_OK(store_.RemoveGenRow(nd.type, static_cast<int64_t>(n)));
+    if (ctx != nullptr) {
+      ctx->reclaimed_gen_rows.emplace_back(nd.type, static_cast<int64_t>(n),
+                                           nd.attr);
+    }
   }
   return Status::OK();
+}
+
+std::string UpdateSystem::DebugFingerprint(bool strict) const {
+  std::string out;
+  auto add_db = [&out](const char* label, const Database& db) {
+    out += label;
+    out += '\n';
+    for (const std::string& name : db.TableNames()) {
+      const Table* t = db.GetTable(name);
+      std::vector<std::string> rows;
+      t->ForEach([&](const Tuple& r) { rows.push_back(TupleToString(r)); });
+      // Physical slot order is not restorable across a delete/re-insert
+      // rollback (tombstoned slots + append-only), so rows are compared
+      // as a sorted multiset.
+      std::sort(rows.begin(), rows.end());
+      out += ' ';
+      out += name;
+      out += '\n';
+      for (const std::string& r : rows) {
+        out += "  ";
+        out += r;
+        out += '\n';
+      }
+    }
+  };
+  add_db("[base]", db_);
+  add_db("[store]", store_.db());
+
+  out += "[dag] root=" + std::to_string(dag_.root()) +
+         " version=" + std::to_string(dag_.version()) +
+         " nodes=" + std::to_string(dag_.num_nodes()) +
+         " edges=" + std::to_string(dag_.num_edges()) +
+         " cap=" + std::to_string(dag_.capacity()) + "\n";
+  for (NodeId id = 0; id < dag_.capacity(); ++id) {
+    out += ' ';
+    out += std::to_string(id);
+    if (!dag_.alive(id)) {
+      out += " dead\n";
+      continue;
+    }
+    const DagView::Node& nd = dag_.node(id);
+    out += ' ';
+    out += nd.type;
+    out += '|';
+    out += TupleToString(nd.attr);
+    if (nd.is_text) out += "|text";
+    // Exact child order (document order) always; in strict mode also the
+    // exact parent-vector layout, which the rewind must restore
+    // byte-identically. Non-strict sorts parents: swap-erase layout
+    // depends on GC removal order, which an absorbed fault may change.
+    out += " c=";
+    for (NodeId c : dag_.children(id)) {
+      out += std::to_string(c);
+      out += ',';
+    }
+    out += " p=";
+    std::vector<NodeId> parents(dag_.parents(id).begin(),
+                                dag_.parents(id).end());
+    if (!strict) std::sort(parents.begin(), parents.end());
+    for (NodeId p : parents) {
+      out += std::to_string(p);
+      out += ',';
+    }
+    out += '\n';
+  }
+
+  out += "[topo] ";
+  for (NodeId v : engine_.topo().order()) {
+    out += std::to_string(v);
+    out += ',';
+  }
+  out += "\n[reach]\n";
+  for (NodeId d = 0; d < dag_.capacity(); ++d) {
+    std::vector<NodeId> anc(engine_.reach().Ancestors(d).begin(),
+                            engine_.reach().Ancestors(d).end());
+    if (anc.empty()) continue;
+    std::sort(anc.begin(), anc.end());
+    out += ' ';
+    out += std::to_string(d);
+    out += "<-";
+    for (NodeId a : anc) {
+      out += std::to_string(a);
+      out += ',';
+    }
+    out += '\n';
+  }
+  out +=
+      "[cursor] " + std::to_string(engine_.maintained_version()) + "\n";
+
+  if (strict) {
+    // The newest slice of the ∆V journal. Bounded so that capacity
+    // eviction of *old* entries during a batch (which a rewind cannot
+    // restore, and which changes nothing observable) stays outside the
+    // comparison window.
+    constexpr uint64_t kJournalTail = 64;
+    const uint64_t v = dag_.version();
+    out += "[journal]\n";
+    for (const DagDelta& d :
+         dag_.JournalSince(v > kJournalTail ? v - kJournalTail : 0)) {
+      out += ' ';
+      out += d.ToString();
+      out += '\n';
+    }
+  }
+  out += "[cache]\n";
+  out += eval_cache_.DebugFingerprint();
+  return out;
 }
 
 Status UpdateSystem::ApplyInsert(const std::string& elem_type,
@@ -162,6 +331,20 @@ Status UpdateSystem::ApplyInsert(const std::string& elem_type,
   stats_.batch_ops = 1;
   stats_.distinct_paths = 1;
   stats_.xpath_evaluations = 1;
+  WriteUndo ctx;
+  ctx.snapshot_version = dag_.version();
+  if (options_.op_timeout_seconds > 0) {
+    ctx.deadline = Deadline::After(options_.op_timeout_seconds);
+  }
+  Status st = ApplyInsertImpl(elem_type, attr, p, &ctx);
+  if (st.ok()) return st;
+  XVU_RETURN_NOT_OK(RollbackWrite(ctx));
+  return st;
+}
+
+Status UpdateSystem::ApplyInsertImpl(const std::string& elem_type,
+                                     const Tuple& attr, const Path& p,
+                                     WriteUndo* ctx) {
   // Phase 0: schema-level validation (Section 2.4).
   XVU_RETURN_NOT_OK(ValidateInsert(atg_.dtd(), p, elem_type));
   const std::vector<Column>* schema = atg_.AttrSchema(elem_type);
@@ -188,6 +371,7 @@ Status UpdateSystem::ApplyInsert(const std::string& elem_type,
         std::to_string(ev.side_effect_nodes.size()) +
         " additional affected nodes); aborted by policy");
   }
+  XVU_RETURN_NOT_OK(CheckDeadline(ctx->deadline, "insert: XPath evaluated"));
 
   // Cycle guard for a pre-existing subtree root: inserting (u, r_A) with
   // r_A an ancestor-or-self of some target u would loop the view.
@@ -208,9 +392,11 @@ Status UpdateSystem::ApplyInsert(const std::string& elem_type,
       std::vector<ViewRowOp> dv,
       XInsertConnectRows(store_, db_, dag_, ev.selected, elem_type, attr));
   stats_.delta_v = dv.size();
-  XVU_ASSIGN_OR_RETURN(InsertTranslation tr,
-                       TranslateGroupInsertion(store_, db_, dv,
-                                               options_.insert));
+  InsertOptions ins_options = options_.insert;
+  ins_options.deadline = ctx->deadline;
+  XVU_ASSIGN_OR_RETURN(
+      InsertTranslation tr,
+      TranslateGroupInsertion(store_, db_, dv, ins_options));
   stats_.used_sat = tr.used_sat;
   stats_.sat_propagations = tr.sat_stats.propagations;
   stats_.sat_conflicts = tr.sat_stats.conflicts;
@@ -219,32 +405,29 @@ Status UpdateSystem::ApplyInsert(const std::string& elem_type,
   stats_.sat_winner_lane = tr.sat_winner_lane;
   stats_.sat_seconds = tr.sat_seconds;
   stats_.delta_r = tr.delta_r.ops.size();
+  XVU_RETURN_NOT_OK(CheckDeadline(ctx->deadline, "insert: translated"));
 
   // Phase 2b: apply ∆R, publish ST(A, t), connect.
-  std::vector<TableOp> undo;
-  XVU_RETURN_NOT_OK(ApplyDeltaRTracked(tr.delta_r, &undo));
+  XVU_RETURN_NOT_OK(ApplyDeltaRTracked(tr.delta_r, &ctx->undo));
+  XVU_FAIL_POINT(failpoints::kInsertApplyDeltaR);
 
   Publisher pub(&atg_, &db_);
-  auto sub = pub.PublishSubtree(elem_type, attr, &dag_, &store_);
-  if (!sub.ok()) {
-    Rollback(undo);
-    return sub.status();
-  }
-  Publisher::SubtreeResult st = std::move(sub).value();
+  XVU_ASSIGN_OR_RETURN(Publisher::SubtreeResult st,
+                       pub.PublishSubtree(elem_type, attr, &dag_, &store_));
   stats_.subtree_edges = st.new_edges.size();
-  if (st.cyclic) {
-    RollbackSubtree(st);
-    Rollback(undo);
+  const bool cyclic = st.cyclic;
+  ctx->published.push_back(std::move(st));
+  const Publisher::SubtreeResult& sub = ctx->published.back();
+  if (cyclic) {
     return Status::Rejected("inserted subtree makes the view cyclic");
   }
+  XVU_FAIL_POINT(failpoints::kInsertPublish);
   // Connect-edge cycle guard for a freshly published root.
   {
-    std::vector<NodeId> cone = CollectDescOrSelf(dag_, {st.root});
+    std::vector<NodeId> cone = CollectDescOrSelf(dag_, {sub.root});
     std::unordered_set<NodeId> cone_set(cone.begin(), cone.end());
     for (NodeId u : ev.selected) {
       if (cone_set.count(u) > 0) {
-        RollbackSubtree(st);
-        Rollback(undo);
         return Status::Rejected(
             "inserting (" + elem_type +
             ", ...) here would make the view cyclic");
@@ -252,34 +435,26 @@ Status UpdateSystem::ApplyInsert(const std::string& elem_type,
     }
   }
   std::vector<NodeId> connected;
-  std::vector<ViewRowOp> added_rows;
   for (size_t i = 0; i < ev.selected.size(); ++i) {
     NodeId u = ev.selected[i];
-    if (dag_.AddEdge(u, st.root)) connected.push_back(u);
+    if (dag_.AddEdge(u, sub.root)) connected.push_back(u);
     // Fix up the child_id placeholder and materialize the witness row.
     Tuple row = dv[i].row;
-    row[1] = Value::Int(static_cast<int64_t>(st.root));
-    Status row_st = store_.AddEdgeRow(dv[i].view_name, row);
-    if (!row_st.ok()) {
-      for (auto it = added_rows.rbegin(); it != added_rows.rend(); ++it) {
-        (void)store_.RemoveEdgeRow(it->view_name, it->row);
-      }
-      for (auto it = connected.rbegin(); it != connected.rend(); ++it) {
-        (void)dag_.RemoveEdge(*it, st.root);
-      }
-      RollbackSubtree(st);
-      Rollback(undo);
-      return row_st;
-    }
-    added_rows.push_back(ViewRowOp{dv[i].view_name, std::move(row)});
+    row[1] = Value::Int(static_cast<int64_t>(sub.root));
+    XVU_RETURN_NOT_OK(store_.AddEdgeRow(dv[i].view_name, row));
+    ctx->added_rows.push_back(ViewRowOp{dv[i].view_name, std::move(row)});
   }
   auto t2 = Clock::now();
   stats_.translate_seconds = Seconds(t1, t2);
+  XVU_RETURN_NOT_OK(CheckDeadline(ctx->deadline, "insert: applied"));
 
   // Phase 3: maintenance of M and L (backgroundable per Section 3.4).
+  ctx->maintenance_started = true;
   MaintenanceDelta delta;
   XVU_RETURN_NOT_OK(
-      engine_.MaintainInsert(dag_, st.root, st.new_nodes, connected, &delta));
+      engine_.MaintainInsert(dag_, sub.root, sub.new_nodes, connected,
+                             &delta));
+  XVU_FAIL_POINT(failpoints::kInsertMaintain);
   stats_.maintenance_passes = 1;
   stats_.maintenance_strategy = MaintenanceStrategy::kIncrementalMerge;
   stats_.maintain_seconds = Seconds(t2, Clock::now());
@@ -291,6 +466,18 @@ Status UpdateSystem::ApplyDelete(const Path& p) {
   stats_.batch_ops = 1;
   stats_.distinct_paths = 1;
   stats_.xpath_evaluations = 1;
+  WriteUndo ctx;
+  ctx.snapshot_version = dag_.version();
+  if (options_.op_timeout_seconds > 0) {
+    ctx.deadline = Deadline::After(options_.op_timeout_seconds);
+  }
+  Status st = ApplyDeleteImpl(p, &ctx);
+  if (st.ok()) return st;
+  XVU_RETURN_NOT_OK(RollbackWrite(ctx));
+  return st;
+}
+
+Status UpdateSystem::ApplyDeleteImpl(const Path& p, WriteUndo* ctx) {
   XVU_RETURN_NOT_OK(ValidateDelete(atg_.dtd(), p));
 
   auto t0 = Clock::now();
@@ -311,55 +498,42 @@ Status UpdateSystem::ApplyDelete(const Path& p) {
         std::to_string(ev.side_effect_nodes.size()) +
         " additional affected nodes); aborted by policy");
   }
+  XVU_RETURN_NOT_OK(CheckDeadline(ctx->deadline, "delete: XPath evaluated"));
 
   XVU_ASSIGN_OR_RETURN(std::vector<ViewRowOp> dv,
                        XDeleteRows(store_, dag_, ev.parent_edges));
   stats_.delta_v = dv.size();
+  MinimalDeleteOptions del_options;
+  del_options.deadline = ctx->deadline;
   Result<RelationalUpdate> dr =
       options_.minimal_deletions
-          ? TranslateMinimalDeletion(store_, db_, dv)
+          ? TranslateMinimalDeletion(store_, db_, dv, del_options)
           : TranslateGroupDeletion(store_, db_, dv);
   if (!dr.ok()) return dr.status();
   stats_.delta_r = dr->ops.size();
+  XVU_RETURN_NOT_OK(CheckDeadline(ctx->deadline, "delete: translated"));
 
-  std::vector<TableOp> undo;
-  XVU_RETURN_NOT_OK(ApplyDeltaRTracked(*dr, &undo));
-  // Apply ∆V: drop the edges and their witness rows, restoring everything
-  // applied so far if any single removal fails.
-  std::vector<std::pair<NodeId, NodeId>> removed_edges;
-  std::vector<ViewRowOp> removed_rows;
-  auto restore = [&]() {
-    for (auto it = removed_rows.rbegin(); it != removed_rows.rend(); ++it) {
-      (void)store_.AddEdgeRow(it->view_name, it->row);
-    }
-    for (auto it = removed_edges.rbegin(); it != removed_edges.rend(); ++it) {
-      (void)dag_.AddEdge(it->first, it->second);
-    }
-    Rollback(undo);
-  };
+  XVU_RETURN_NOT_OK(ApplyDeltaRTracked(*dr, &ctx->undo));
+  XVU_FAIL_POINT(failpoints::kDeleteApplyDeltaR);
+  // Apply ∆V: drop the edges (journaled, undone by the rewind) and their
+  // witness rows (recorded for the store-side restore).
   for (const auto& [u, v] : ev.parent_edges) {
-    Status edge_st = dag_.RemoveEdge(u, v);
-    if (!edge_st.ok()) {
-      restore();
-      return edge_st;
-    }
-    removed_edges.emplace_back(u, v);
+    XVU_RETURN_NOT_OK(dag_.RemoveEdge(u, v));
   }
   for (const ViewRowOp& op : dv) {
-    Status row_st = store_.RemoveEdgeRow(op.view_name, op.row);
-    if (!row_st.ok()) {
-      restore();
-      return row_st;
-    }
-    removed_rows.push_back(op);
+    XVU_RETURN_NOT_OK(store_.RemoveEdgeRow(op.view_name, op.row));
+    ctx->removed_rows.push_back(op);
   }
   auto t2 = Clock::now();
   stats_.translate_seconds = Seconds(t1, t2);
+  XVU_RETURN_NOT_OK(CheckDeadline(ctx->deadline, "delete: applied"));
 
   // Maintenance + garbage collection (Fig.8).
+  ctx->maintenance_started = true;
   MaintenanceDelta delta;
   XVU_RETURN_NOT_OK(engine_.MaintainDelete(&dag_, ev.selected, &delta));
-  XVU_RETURN_NOT_OK(ReclaimCollected(delta));
+  XVU_FAIL_POINT(failpoints::kDeleteMaintain);
+  XVU_RETURN_NOT_OK(ReclaimCollected(delta, ctx));
   stats_.maintenance_passes = 1;
   stats_.maintenance_strategy = MaintenanceStrategy::kIncrementalMerge;
   stats_.maintain_seconds = Seconds(t2, Clock::now());

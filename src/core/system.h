@@ -3,10 +3,12 @@
 
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "src/atg/atg.h"
 #include "src/atg/publisher.h"
+#include "src/common/deadline.h"
 #include "src/common/thread_pool.h"
 #include "src/core/evaluator.h"
 #include "src/core/pipeline.h"
@@ -15,6 +17,7 @@
 #include "src/dag/maintenance_engine.h"
 #include "src/dag/reachability.h"
 #include "src/dag/topo_order.h"
+#include "src/viewupdate/delete.h"
 #include "src/viewupdate/insert.h"
 
 namespace xvu {
@@ -127,6 +130,12 @@ class UpdateSystem {
     /// work reads one immutable snapshot, writes per-task slots, and is
     /// merged in serial order.
     size_t worker_threads = 1;
+    /// Wall-clock budget per ApplyInsert/ApplyDelete/ApplyBatch call;
+    /// 0 = unbounded. On expiry the op rejects with kDeadlineExceeded
+    /// after a full rollback (never partial state); the deadline is also
+    /// threaded into the SAT portfolio and the branch-and-bound cover,
+    /// whose anytime search degrades to its incumbent instead.
+    double op_timeout_seconds = 0;
   };
 
   /// Publishes σ(db) and builds all auxiliary structures.
@@ -186,11 +195,49 @@ class UpdateSystem {
   /// that incremental maintenance matches recomputation.
   Result<DagView> Republish() const;
 
+  /// Deterministic serialization of the complete system state: base
+  /// tables and view-store tables (rows canonically sorted — physical
+  /// slot order is not restorable across a delete/re-insert rollback),
+  /// the DAG per node id (liveness, label, exact child order and
+  /// parent-vector layout), root, version, L, M (sorted pairs), the
+  /// maintenance cursor, the ∆V journal tail, and the eval-cache
+  /// fingerprint. The fault-injection fuzz compares this after an
+  /// injected fault against the pre-op state, and between a retry and a
+  /// never-faulted run. `strict` = false relaxes the two layout details
+  /// that legitimately differ across an absorbed (degraded-but-
+  /// successful) fault, where garbage collection completes in a
+  /// different order: parent vectors compare as sorted sets (swap-erase
+  /// layout is order-dependent) and the journal tail is dropped. Child
+  /// order — document order — stays exact in both modes.
+  std::string DebugFingerprint(bool strict = true) const;
+
  private:
   UpdateSystem(Atg atg, Database db, Options options)
       : atg_(std::move(atg)), db_(std::move(db)), options_(options) {}
 
   Status Initialize();
+
+  /// Everything a failed write needs to restore the pre-op state
+  /// exactly. Filled incrementally as the op applies; consumed by
+  /// RollbackWrite. The DAG side is not tracked here — RollbackWrite
+  /// rewinds it structurally through the ∆V journal
+  /// (DagView::RewindTo), which also restores the node-id allocator,
+  /// the version counter, and the journal tail.
+  struct WriteUndo {
+    uint64_t snapshot_version = 0;  ///< dag_.version() before the op
+    Deadline deadline;              ///< per-op budget (infinite when unset)
+    std::vector<TableOp> undo;      ///< applied ∆R, for Rollback()
+    std::vector<ViewRowOp> removed_rows;  ///< witness rows dropped (4a)
+    std::vector<Publisher::SubtreeResult> published;  ///< subtrees (4b)
+    std::vector<ViewRowOp> added_rows;  ///< witness rows materialized (4b)
+    /// Rows reclaimed after GC (phase 5): edge-view witness rows and
+    /// (gen-table type, node id, attr) gen rows.
+    std::vector<ViewRowOp> reclaimed_edge_rows;
+    std::vector<std::tuple<std::string, int64_t, Tuple>> reclaimed_gen_rows;
+    /// True once the maintenance engine may have touched M/L or its
+    /// cursor; rollback then rebuilds them for the rewound DAG.
+    bool maintenance_started = false;
+  };
 
   /// Applies ∆R recording the ops that actually changed the database, so
   /// a later rejection can roll back precisely.
@@ -198,14 +245,41 @@ class UpdateSystem {
                             std::vector<TableOp>* undo);
   void Rollback(const std::vector<TableOp>& undo);
 
+  /// Restores the pre-op state after a failed write: store rows first
+  /// (newest phase first — reclaim, materialized rows, published
+  /// subtrees, dropped rows — while tombstoned node labels are still
+  /// readable), then the base ∆R, then the DAG via RewindTo, then M/L
+  /// if maintenance had started. Falls back to a full resync
+  /// (Initialize) when the journal window needed for the rewind was
+  /// evicted; returns that resync's status (OK on the normal path).
+  Status RollbackWrite(const WriteUndo& ctx);
+
+  /// The batch pipeline body (core/pipeline.cc). ApplyBatch wraps it
+  /// with the eval-cache scope and RollbackWrite.
+  Status ApplyBatchImpl(const UpdateBatch& batch, WriteUndo* ctx);
+
+  /// Per-op pipeline bodies: fill `ctx` as they mutate, return on the
+  /// first failure, and leave the cleanup entirely to RollbackWrite in
+  /// the ApplyInsert/ApplyDelete wrappers.
+  Status ApplyInsertImpl(const std::string& elem_type, const Tuple& attr,
+                         const Path& p, WriteUndo* ctx);
+  Status ApplyDeleteImpl(const Path& p, WriteUndo* ctx);
+
   /// Undoes one subtree publication: removes its new edges, the witness
   /// rows materialized under its new nodes, their gen rows, and finally
   /// the nodes themselves.
   void RollbackSubtree(const Publisher::SubtreeResult& st);
 
+  /// Store-only half of RollbackSubtree: removes the witness rows and
+  /// gen rows of a publication but leaves the DAG alone — used by
+  /// RollbackWrite, where DagView::RewindTo undoes the structure.
+  void UnpublishSubtreeRows(const Publisher::SubtreeResult& st);
+
   /// Reclaims the relational coding of garbage-collected parts: witness
   /// rows of orphan edges, then gen rows of removed nodes (Fig.8's ∆'V).
-  Status ReclaimCollected(const MaintenanceDelta& delta);
+  /// Records every removed row in `ctx` (when non-null) so a fault mid-
+  /// reclaim can restore them.
+  Status ReclaimCollected(const MaintenanceDelta& delta, WriteUndo* ctx);
 
   /// Propagates one already-applied base insertion / deletion into the
   /// view (core/propagate.cc).

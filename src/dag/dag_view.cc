@@ -9,11 +9,12 @@ namespace xvu {
 
 void DagView::SetRoot(NodeId r) {
   if (root_ == r) return;
-  root_ = r;
-  ++version_;
   DagDelta d;
   d.kind = DagDelta::Kind::kRootChanged;
   d.node = r;
+  d.prev_root = root_;
+  root_ = r;
+  ++version_;
   d.version = version_;
   journal_.Append(d);
 }
@@ -72,19 +73,21 @@ Status DagView::RemoveEdge(NodeId parent, NodeId child) {
     return Status::NotFound("edge (" + std::to_string(parent) + "," +
                             std::to_string(child) + ") not in DAG");
   }
+  DagDelta d;
+  d.kind = DagDelta::Kind::kEdgeRemoved;
+  d.parent = parent;
+  d.child = child;
+  d.child_pos = static_cast<uint32_t>(it - cs.begin());
   cs.erase(it);
   // Parents are unordered (see the header contract), so the linear find
   // can finish with an O(1) swap-erase instead of shifting the tail.
   auto& ps = parents_[child];
   auto pit = std::find(ps.begin(), ps.end(), parent);
+  d.parent_pos = static_cast<uint32_t>(pit - ps.begin());
   *pit = ps.back();
   ps.pop_back();
   --num_edges_;
   ++version_;
-  DagDelta d;
-  d.kind = DagDelta::Kind::kEdgeRemoved;
-  d.parent = parent;
-  d.child = child;
   d.version = version_;
   journal_.Append(d);
   return Status::OK();
@@ -105,6 +108,97 @@ Status DagView::RemoveNode(NodeId id) {
   d.node = id;
   d.version = version_;
   journal_.Append(d);
+  return Status::OK();
+}
+
+Status DagView::RewindTo(uint64_t version) {
+  if (version > version_) {
+    return Status::InvalidArgument(
+        "cannot rewind to future version " + std::to_string(version) +
+        " (current " + std::to_string(version_) + ")");
+  }
+  if (version == version_) return Status::OK();
+  // Every mutation bumps the version by exactly one and appends exactly
+  // one entry, so the window must hold exactly version_ - version
+  // deltas; anything else means eviction ate part of it.
+  std::vector<DagDelta> window = journal_.Since(version);
+  if (!journal_.Covers(version) ||
+      window.size() != version_ - version) {
+    return Status::Unavailable(
+        "journal window for rewind to v" + std::to_string(version) +
+        " was evicted (retained " + std::to_string(window.size()) +
+        " of " + std::to_string(version_ - version) + " entries)");
+  }
+  for (auto it = window.rbegin(); it != window.rend(); ++it) {
+    const DagDelta& d = *it;
+    switch (d.kind) {
+      case DagDelta::Kind::kNodeAdded: {
+        // Reverse replay has already undone every later mutation, so
+        // the node is the most recently allocated id and isolated.
+        if (static_cast<size_t>(d.node) + 1 != nodes_.size() ||
+            dead_[d.node] || !children_[d.node].empty() ||
+            !parents_[d.node].empty()) {
+          return Status::Internal("rewind: node " + std::to_string(d.node) +
+                                  " is not the last isolated allocation");
+        }
+        gen_[nodes_[d.node].type].erase(nodes_[d.node].attr);
+        nodes_.pop_back();
+        dead_.pop_back();
+        children_.pop_back();
+        parents_.pop_back();
+        --live_nodes_;
+        break;
+      }
+      case DagDelta::Kind::kNodeRemoved: {
+        if (alive(d.node)) {
+          return Status::Internal("rewind: node " + std::to_string(d.node) +
+                                  " to resurrect is alive");
+        }
+        dead_[d.node] = 0;
+        gen_[nodes_[d.node].type].emplace(nodes_[d.node].attr, d.node);
+        ++live_nodes_;
+        break;
+      }
+      case DagDelta::Kind::kEdgeAdded: {
+        auto& cs = children_[d.parent];
+        auto& ps = parents_[d.child];
+        if (cs.empty() || cs.back() != d.child || ps.empty() ||
+            ps.back() != d.parent) {
+          return Status::Internal(
+              "rewind: edge (" + std::to_string(d.parent) + "," +
+              std::to_string(d.child) + ") is not the newest entry");
+        }
+        cs.pop_back();
+        ps.pop_back();
+        --num_edges_;
+        break;
+      }
+      case DagDelta::Kind::kEdgeRemoved: {
+        auto& cs = children_[d.parent];
+        auto& ps = parents_[d.child];
+        if (d.child_pos > cs.size() || d.parent_pos > ps.size()) {
+          return Status::Internal("rewind: recorded edge positions exceed "
+                                  "current adjacency sizes");
+        }
+        cs.insert(cs.begin() + d.child_pos, d.child);
+        // Invert the swap-erase: the evicted slot's occupant moved to
+        // the back unless the parent itself was last.
+        if (d.parent_pos == ps.size()) {
+          ps.push_back(d.parent);
+        } else {
+          ps.push_back(ps[d.parent_pos]);
+          ps[d.parent_pos] = d.parent;
+        }
+        ++num_edges_;
+        break;
+      }
+      case DagDelta::Kind::kRootChanged:
+        root_ = d.prev_root;
+        break;
+    }
+  }
+  version_ = version;
+  journal_.TruncateAfter(version);
   return Status::OK();
 }
 

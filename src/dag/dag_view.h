@@ -96,6 +96,20 @@ class DagView {
   /// Tombstones a node; it must have no incident edges.
   Status RemoveNode(NodeId id);
 
+  /// Structurally rewinds the DAG to an earlier `version` by reverse-
+  /// replaying the ∆V journal window, then truncates the journal so the
+  /// undone mutations are gone from it too. Unlike rolling back through
+  /// the forward mutators (which appends compensating deltas, burns
+  /// versions, and leaks tombstoned node ids), RewindTo restores the
+  /// node-id allocator, the version counter, child order, parent-vector
+  /// layout, and the journal tail bit-identically — a retried batch
+  /// after a rewind behaves exactly like a never-faulted run.
+  ///
+  /// Returns kUnavailable (state untouched) when the bounded journal
+  /// has evicted part of the window; callers then fall back to a full
+  /// resync. kInvalidArgument for a future version.
+  Status RewindTo(uint64_t version);
+
   /// Number of live nodes.
   size_t num_nodes() const { return live_nodes_; }
   /// Number of edges (DAG edges, not tree occurrences).

@@ -51,6 +51,12 @@ std::vector<DagDelta> DagJournal::Since(uint64_t since) const {
   return out;
 }
 
+void DagJournal::TruncateAfter(uint64_t version) {
+  while (!entries_.empty() && entries_.back().version > version) {
+    entries_.pop_back();
+  }
+}
+
 size_t DagJournal::CountSince(uint64_t since) const {
   auto it = std::upper_bound(
       entries_.begin(), entries_.end(), since,

@@ -32,6 +32,14 @@ struct DagDelta {
   NodeId child = 0;
   /// DagView::version() immediately after this mutation.
   uint64_t version = 0;
+  /// Exact-undo bookkeeping (DagView::RewindTo). kEdgeRemoved: the
+  /// child's index in children_[parent] before the ordered erase, and
+  /// the parent's index in parents_[child] before the swap-erase, so a
+  /// rewind restores both vectors byte-identically. kRootChanged: the
+  /// previous root.
+  uint32_t child_pos = 0;
+  uint32_t parent_pos = 0;
+  NodeId prev_root = static_cast<NodeId>(-1);
 
   std::string ToString() const;
 };
@@ -63,6 +71,12 @@ class DagJournal {
 
   /// Number of retained entries with version > `since` (0 if not covered).
   size_t CountSince(uint64_t since) const;
+
+  /// Drops every retained entry with version > `version` — the journal
+  /// half of DagView::RewindTo: after a structural rewind the undone
+  /// mutations must not be replayable, or the maintenance cursor and
+  /// delta-patched caches would re-apply changes that no longer exist.
+  void TruncateAfter(uint64_t version);
 
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }

@@ -7,6 +7,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "src/common/failpoint.h"
+
 namespace xvu {
 
 const char* MaintenanceStrategyName(MaintenanceStrategy s) {
@@ -177,6 +179,11 @@ Status MaintenanceEngine::IncrementalMerge(
   for (NodeId v : doomed) {
     std::vector<NodeId> children = dag->children(v);
     for (NodeId c : children) {
+      // Injection point for a ∆V-journal append failure mid-GC: the
+      // merge aborts with the removals so far already journaled and in
+      // `delta`; MaintainBatch absorbs it by falling back to a full
+      // rebuild (the GC that happened is kept, it is real).
+      XVU_FAIL_POINT(failpoints::kJournalAppend);
       delta->orphan_edges.emplace_back(v, c);
       XVU_RETURN_NOT_OK(dag->RemoveEdge(v, c));
       auto e = std::make_pair(v, c);
@@ -188,6 +195,11 @@ Status MaintenanceEngine::IncrementalMerge(
     delta->removed_nodes.push_back(v);
     if (fresh_nodes.erase(v) == 0) stale_nodes.insert(v);
   }
+
+  // Injection point for a merge failure after GC but before the ∆M
+  // replay — the absorbed-degradation scenario: MaintainBatch clears the
+  // half-emitted ∆M and rebuilds wholesale; the batch still succeeds.
+  XVU_FAIL_POINT(failpoints::kMaintainMerge);
 
   // (3) Affected region: a live node's ancestor set can have changed only
   // if it is a new-DAG descendant-or-self of a changed edge's child

@@ -1,10 +1,14 @@
 #include "src/relational/storage.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
+
+#include "src/common/crc32c.h"
+#include "src/common/failpoint.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define XVU_HAVE_MMAP 1
@@ -22,7 +26,14 @@ namespace xvu {
 namespace {
 
 constexpr char kMagic[4] = {'X', 'V', 'U', 'R'};
-constexpr uint32_t kVersion = 1;
+/// v1: no checksums. v2 adds a masked CRC32C over the schema block and
+/// one per column block (covering the block's size prefix, so a size
+/// corrupted in isolation is caught too). v1 files still load.
+constexpr uint32_t kVersionLegacy = 1;
+constexpr uint32_t kVersion = 2;
+/// Byte offset where the header CRC's coverage starts: everything after
+/// magic + version + flags (those three are validated structurally).
+constexpr size_t kCrcCoverStart = 12;
 
 // Per-row value tags (also the declared-type tags of the schema block).
 constexpr uint8_t kTagNull = 0;
@@ -75,6 +86,12 @@ class Writer {
   /// Overwrites 8 bytes at `at` with v (back-patching block sizes).
   void PatchU64(size_t at, uint64_t v) {
     for (int i = 0; i < 8; ++i) {
+      buf_[at + i] = static_cast<char>(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  /// Overwrites 4 bytes at `at` with v (back-patching block CRCs).
+  void PatchU32(size_t at, uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
       buf_[at + i] = static_cast<char>(static_cast<uint8_t>(v >> (8 * i)));
     }
   }
@@ -162,11 +179,33 @@ Result<std::string> SlurpFile(const std::string& path) {
 }
 
 Status WriteFile(const std::string& path, const std::string& data) {
+  XVU_FAIL_POINT(failpoints::kStorageWrite);
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::Internal("cannot open " + path + " for writing");
   out.write(data.data(), static_cast<std::streamsize>(data.size()));
   out.flush();
   if (!out) return Status::Internal("write error on " + path);
+  return Status::OK();
+}
+
+/// Crash-consistent write: the bytes land in `path + ".tmp"` first and
+/// are renamed over `path` only once fully written, so a fault between
+/// the two steps leaves either the old complete file or no file — never
+/// a torn prefix a reader could mistake for the relation.
+Status WriteFileAtomic(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  XVU_RETURN_NOT_OK(WriteFile(tmp, data));
+  Status rename_fault = [&]() -> Status {
+    XVU_FAIL_POINT(failpoints::kStorageRename);
+    return Status::OK();
+  }();
+  if (rename_fault.ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+    rename_fault = Status::Internal("cannot rename " + tmp + " to " + path);
+  }
+  if (!rename_fault.ok()) {
+    std::remove(tmp.c_str());
+    return rename_fault;
+  }
   return Status::OK();
 }
 
@@ -190,10 +229,16 @@ Status StoreRelation(const Table& t, const std::string& path) {
   w.U32(static_cast<uint32_t>(schema.key_indices().size()));
   for (size_t k : schema.key_indices()) w.U32(static_cast<uint32_t>(k));
   w.U64(rows.size());
+  // v2 header CRC: covers the schema block and row count (everything
+  // after magic/version/flags up to this field), masked LevelDB-style.
+  w.U32(crc32c::Mask(crc32c::Value(w.buffer().data() + kCrcCoverStart,
+                                   w.size() - kCrcCoverStart)));
 
   for (size_t col = 0; col < arity; ++col) {
     size_t size_at = w.size();
     w.U64(0);  // block size, patched below
+    size_t crc_at = w.size();
+    w.U32(0);  // block CRC, patched below
     size_t block_start = w.size();
     for (const Tuple& row : rows) w.U8(TypeTag(row[col].type()));
     for (const Tuple& row : rows) {
@@ -206,11 +251,18 @@ Status StoreRelation(const Table& t, const std::string& path) {
       }
     }
     w.PatchU64(size_at, w.size() - block_start);
+    // The block CRC covers the (patched) size prefix plus the payload, so
+    // a corrupted size field cannot redirect the reader silently.
+    uint32_t crc = crc32c::Value(w.buffer().data() + size_at, 8);
+    crc = crc32c::Extend(crc, w.buffer().data() + block_start,
+                         w.size() - block_start);
+    w.PatchU32(crc_at, crc32c::Mask(crc));
   }
-  return WriteFile(path, w.buffer());
+  return WriteFileAtomic(path, w.buffer());
 }
 
 Result<Table> LoadRelation(const std::string& path) {
+  XVU_FAIL_POINT(failpoints::kStorageLoad);
   XVU_ASSIGN_OR_RETURN(std::string data, SlurpFile(path));
   Reader r(reinterpret_cast<const uint8_t*>(data.data()), data.size());
 
@@ -220,15 +272,23 @@ Result<Table> LoadRelation(const std::string& path) {
   XVU_ASSIGN_OR_RETURN(uint32_t magic_skip, r.U32());
   (void)magic_skip;
   XVU_ASSIGN_OR_RETURN(uint32_t version, r.U32());
-  if (version != kVersion) {
+  if (version != kVersion && version != kVersionLegacy) {
     return Status::InvalidArgument("unsupported XVUR version " +
                                    std::to_string(version));
   }
+  const bool checksummed = version >= kVersion;
   XVU_ASSIGN_OR_RETURN(uint32_t flags, r.U32());
   (void)flags;
 
   XVU_ASSIGN_OR_RETURN(std::string name, r.Str());
   XVU_ASSIGN_OR_RETURN(uint32_t arity, r.U32());
+  // Each column needs at least 5 schema bytes (name length + type tag);
+  // a corrupt arity must not drive the reserve below (the header CRC is
+  // only reachable after the schema block parses).
+  if (arity > r.remaining()) {
+    return Status::InvalidArgument("arity " + std::to_string(arity) +
+                                   " exceeds file size");
+  }
   std::vector<Column> columns;
   columns.reserve(arity);
   for (uint32_t c = 0; c < arity; ++c) {
@@ -239,6 +299,10 @@ Result<Table> LoadRelation(const std::string& path) {
     columns.push_back(std::move(col));
   }
   XVU_ASSIGN_OR_RETURN(uint32_t key_count, r.U32());
+  if (key_count > r.remaining()) {
+    return Status::InvalidArgument("key count " + std::to_string(key_count) +
+                                   " exceeds file size");
+  }
   std::vector<std::string> key_columns;
   key_columns.reserve(key_count);
   for (uint32_t k = 0; k < key_count; ++k) {
@@ -250,6 +314,15 @@ Result<Table> LoadRelation(const std::string& path) {
     key_columns.push_back(columns[idx].name);
   }
   XVU_ASSIGN_OR_RETURN(uint64_t row_count, r.U64());
+  if (checksummed) {
+    const size_t covered_end = r.offset();
+    XVU_ASSIGN_OR_RETURN(uint32_t stored, r.U32());
+    uint32_t actual = crc32c::Value(data.data() + kCrcCoverStart,
+                                    covered_end - kCrcCoverStart);
+    if (crc32c::Unmask(stored) != actual) {
+      return Status::DataLoss("header checksum mismatch in " + path);
+    }
+  }
   // A row stores at least one tag byte per column; anything claiming more
   // rows than the file could hold is corrupt (and would over-allocate).
   if (arity > 0 && row_count > r.remaining()) {
@@ -260,7 +333,24 @@ Result<Table> LoadRelation(const std::string& path) {
   std::vector<Tuple> rows(row_count);
   for (auto& row : rows) row.resize(arity);
   for (uint32_t col = 0; col < arity; ++col) {
+    size_t size_at = r.offset();
     XVU_ASSIGN_OR_RETURN(uint64_t block_size, r.U64());
+    if (checksummed) {
+      XVU_ASSIGN_OR_RETURN(uint32_t stored, r.U32());
+      if (block_size > r.remaining()) {
+        return Status::InvalidArgument(
+            "column block size " + std::to_string(block_size) +
+            " exceeds file size in " + path);
+      }
+      // Verified before any payload byte is interpreted: the CRC covers
+      // the size prefix and the whole block.
+      uint32_t actual = crc32c::Value(data.data() + size_at, 8);
+      actual = crc32c::Extend(actual, data.data() + r.offset(), block_size);
+      if (crc32c::Unmask(stored) != actual) {
+        return Status::DataLoss("column " + std::to_string(col) +
+                                " checksum mismatch in " + path);
+      }
+    }
     size_t block_start = r.offset();
     std::vector<uint8_t> tags(row_count);
     for (uint64_t i = 0; i < row_count; ++i) {
@@ -318,7 +408,10 @@ Status StoreDatabase(const Database& db, const std::string& dir) {
     XVU_RETURN_NOT_OK(StoreRelation(*t, dir + "/" + name + ".xvur"));
     manifest += name + "\n";
   }
-  return WriteFile(dir + "/MANIFEST", manifest);
+  // The MANIFEST is renamed into place last, so a database directory
+  // interrupted mid-store either lists only fully written relations (the
+  // old MANIFEST) or is complete.
+  return WriteFileAtomic(dir + "/MANIFEST", manifest);
 }
 
 Result<Database> LoadDatabase(const std::string& dir) {

@@ -9,24 +9,30 @@
 
 namespace xvu {
 
-// Binary on-disk relation format "XVUR", version 1 (full byte-level spec in
+// Binary on-disk relation format "XVUR", version 2 (full byte-level spec in
 // docs/relational-backend.md).
 //
 // A relation file is little-endian and columnar:
 //
 //   magic "XVUR" | u32 version | u32 flags | schema block | u64 row_count
-//   | column block * arity
+//   | u32 header_crc | column block * arity
 //
 // The schema block stores the table name, per-column names + declared type
 // tags, and the key column indices. Each column block is length-prefixed
-// (u64 payload size, so readers can skip columns), and holds one u8 type
-// tag per row followed by the packed payloads (i64 ints, u8 bools,
+// (u64 payload size, so readers can skip columns) and checksummed (u32
+// masked CRC32C covering the size prefix and the payload), and holds one
+// u8 type tag per row followed by the packed payloads (i64 ints, u8 bools,
 // u32-length-prefixed strings, nothing for nulls) — per-row tags make
-// dynamically typed (kNull-declared) columns and NULLs uniform.
+// dynamically typed (kNull-declared) columns and NULLs uniform. The header
+// CRC covers everything between the flags field and itself. Version-1
+// files (no checksums) still load.
 //
 // Loading memory-maps the file when possible (falling back to a buffered
 // read) and materializes a Table; every read is bounds-checked so a
-// truncated or corrupt file fails with InvalidArgument instead of crashing.
+// truncated or corrupt file fails with InvalidArgument instead of
+// crashing, and a checksum mismatch fails with DataLoss before any
+// payload byte is interpreted. Stores go through a temp file renamed into
+// place, so an interrupted store never leaves a torn relation behind.
 
 /// Writes the live rows of `t` to `path` (overwriting it).
 Status StoreRelation(const Table& t, const std::string& path);

@@ -255,8 +255,9 @@ class Cdcl {
   }
 
   bool Cancelled() {
-    return opts_.cancel != nullptr &&
-           opts_.cancel->load(std::memory_order_relaxed);
+    return (opts_.cancel != nullptr &&
+            opts_.cancel->load(std::memory_order_relaxed)) ||
+           opts_.deadline.expired();
   }
 
   const Cnf& cnf_;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/common/deadline.h"
 #include "src/sat/cnf.h"
 
 namespace xvu {
@@ -25,6 +26,10 @@ struct CdclOptions {
   /// when it reads true the solver returns kUnknown promptly. May be
   /// null.
   const std::atomic<bool>* cancel = nullptr;
+  /// Wall-clock budget, polled at the same sites as `cancel`; expiry
+  /// returns kUnknown. Default infinite — the determinism guarantee
+  /// holds whenever the deadline never fires.
+  Deadline deadline;
 };
 
 /// Conflict-driven clause learning solver: two-watched-literal

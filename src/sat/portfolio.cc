@@ -1,8 +1,11 @@
 #include "src/sat/portfolio.h"
 
 #include <atomic>
+#include <system_error>
 #include <thread>
 #include <vector>
+
+#include "src/common/failpoint.h"
 
 namespace xvu {
 
@@ -42,20 +45,28 @@ bool Definitive(const SatResult& r) {
 
 }  // namespace
 
-SatResult SolvePortfolio(const Cnf& cnf, const PortfolioOptions& options,
+SatResult SolvePortfolio(const Cnf& cnf, const PortfolioOptions& options_in,
                          PortfolioStats* stats) {
+  PortfolioOptions options = options_in;
+  // A portfolio-level deadline caps every lane, unless a lane already
+  // carries its own (assumed tighter / intentional).
+  if (!options.deadline.infinite()) {
+    if (options.walksat.deadline.infinite()) {
+      options.walksat.deadline = options.deadline;
+    }
+    if (options.cdcl.deadline.infinite()) {
+      options.cdcl.deadline = options.deadline;
+    }
+  }
   const size_t k = options.walksat_lanes;
   const int cdcl_lane = static_cast<int>(k);
 
-  // Inline fast path: tiny formulas (the insert translation's common
-  // case) and lane-less configurations run sequentially in the
-  // fixed-priority order, which is exactly the deterministic-mode winner
-  // rule — so inline and threaded deterministic runs agree bit-for-bit.
-  if (cnf.num_clauses() <= options.inline_below_clauses || k == 0) {
-    if (stats != nullptr) {
-      stats->lanes = k + 1;
-      stats->threaded = false;
-    }
+  // Sequential fixed-priority solve (lane 0, then CDCL) — exactly the
+  // deterministic-mode winner rule, so this path and a threaded
+  // deterministic run agree bit-for-bit. Used for tiny formulas, for
+  // lane-less configurations, and as the degraded path when lane-thread
+  // creation fails.
+  auto solve_inline = [&]() {
     if (k > 0) {
       SatStats ws_stats;
       SatResult ws = SolveWalkSat(cnf, LaneConfig(options, 0), &ws_stats);
@@ -73,6 +84,16 @@ SatResult SolvePortfolio(const Cnf& cnf, const PortfolioOptions& options,
       if (Definitive(cd)) stats->winner_lane = cdcl_lane;
     }
     return cd;
+  };
+
+  // Inline fast path: tiny formulas (the insert translation's common
+  // case) and lane-less configurations run sequentially.
+  if (cnf.num_clauses() <= options.inline_below_clauses || k == 0) {
+    if (stats != nullptr) {
+      stats->lanes = k + 1;
+      stats->threaded = false;
+    }
+    return solve_inline();
   }
 
   std::atomic<bool> cancel{false};
@@ -131,8 +152,34 @@ SatResult SolvePortfolio(const Cnf& cnf, const PortfolioOptions& options,
   // K-walksat portfolio spawns exactly K threads. Barrier = join.
   std::vector<std::thread> threads;
   threads.reserve(k);
+  bool spawn_failed = false;
   for (size_t lane = 0; lane < k; ++lane) {
-    threads.emplace_back(run_lane, static_cast<int>(lane));
+    if (XVU_FAIL_POINT_HIT(failpoints::kPortfolioSpawn)) {
+      spawn_failed = true;
+      break;
+    }
+    try {
+      threads.emplace_back(run_lane, static_cast<int>(lane));
+    } catch (const std::system_error&) {
+      spawn_failed = true;
+      break;
+    }
+  }
+  if (spawn_failed) {
+    // Degrade: stop the lanes already racing, then solve inline in the
+    // fixed-priority order. In deterministic mode the result is
+    // bit-identical to the threaded path; only latency suffers. The
+    // partial lanes' results are discarded (their stats were written by
+    // now-joined threads and still accumulate below).
+    cancel.store(true);
+    for (std::thread& t : threads) t.join();
+    if (stats != nullptr) {
+      stats->lanes = k + 1;
+      stats->threaded = false;
+      stats->degraded_spawn = true;
+      for (const LaneOutcome& o : out) stats->totals.Accumulate(o.stats);
+    }
+    return solve_inline();
   }
   run_lane(cdcl_lane);
   for (std::thread& t : threads) t.join();

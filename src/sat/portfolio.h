@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "src/common/deadline.h"
 #include "src/sat/cdcl.h"
 #include "src/sat/cnf.h"
 #include "src/sat/walksat.h"
@@ -41,6 +42,10 @@ struct PortfolioOptions {
   /// The insert translation's encodings are almost always this small;
   /// thread spawn would dominate.
   size_t inline_below_clauses = 64;
+  /// Wall-clock budget applied to every lane (copied into each lane's
+  /// solver options unless that lane already carries a tighter one).
+  /// Expiry makes lanes give up (kUnknown) like an exhausted budget.
+  Deadline deadline;
 };
 
 /// Per-run portfolio observability.
@@ -57,6 +62,10 @@ struct PortfolioStats {
   /// mid-budget). The returned SatResult is what carries the determinism
   /// guarantee, never these counters.
   SatStats totals;
+  /// True when lane-thread creation failed and the portfolio degraded to
+  /// the inline sequential path (same fixed-priority order, so the
+  /// deterministic-mode result is unchanged — only latency suffers).
+  bool degraded_spawn = false;
 };
 
 /// Races the portfolio on `cnf`. Returns kSat with a model, kUnsat, or

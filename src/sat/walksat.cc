@@ -109,8 +109,9 @@ SatResult SolveWalkSat(const Cnf& cnf, const WalkSatOptions& options,
   for (uint32_t t = 0; t < options.max_tries; ++t) {
     st.Init(&rng);
     for (uint32_t f = 0; f < options.max_flips; ++f) {
-      if ((f & 255) == 0 && cancel != nullptr &&
-          cancel->load(std::memory_order_relaxed)) {
+      if ((f & 255) == 0 &&
+          ((cancel != nullptr && cancel->load(std::memory_order_relaxed)) ||
+           options.deadline.expired())) {
         res.kind = SatResult::Kind::kUnknown;
         return res;
       }

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/common/deadline.h"
 #include "src/sat/cnf.h"
 
 namespace xvu {
@@ -16,6 +17,11 @@ struct WalkSatOptions {
   uint32_t max_flips = 100000;  ///< flips per try
   double noise = 0.5;           ///< probability of a random-walk move
   uint64_t seed = 42;
+  /// Wall-clock budget, polled with the cancellation token: on expiry
+  /// the run returns kUnknown like an exhausted flip budget. Default
+  /// infinite — determinism for a given (cnf, options) holds whenever
+  /// the deadline never fires.
+  Deadline deadline;
 };
 
 /// Runs WalkSAT. Returns kSat with a model, or kUnknown after exhausting

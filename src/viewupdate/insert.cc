@@ -1081,23 +1081,38 @@ Result<InsertTranslation> TranslateGroupInsertion(
     SatResult res;
     auto sat_t0 = std::chrono::steady_clock::now();
     if (options.use_portfolio) {
+      PortfolioOptions popts = options.portfolio;
+      if (popts.deadline.infinite()) popts.deadline = options.deadline;
       PortfolioStats pstats;
-      res = SolvePortfolio(enc.cnf(), options.portfolio, &pstats);
+      res = SolvePortfolio(enc.cnf(), popts, &pstats);
       out.sat_stats = pstats.totals;
       out.sat_winner_lane = pstats.winner_lane;
     } else if (options.use_walksat) {
-      res = SolveWalkSat(enc.cnf(), options.walksat, &out.sat_stats);
+      WalkSatOptions wopts = options.walksat;
+      if (wopts.deadline.infinite()) wopts.deadline = options.deadline;
+      res = SolveWalkSat(enc.cnf(), wopts, &out.sat_stats);
       if (res.kind != SatResult::Kind::kSat && options.dpll_fallback) {
-        res = SolveCdcl(enc.cnf(), {}, &out.sat_stats);
+        CdclOptions copts;
+        copts.deadline = options.deadline;
+        res = SolveCdcl(enc.cnf(), copts, &out.sat_stats);
       }
     } else {
-      res = SolveCdcl(enc.cnf(), {}, &out.sat_stats);
+      CdclOptions copts;
+      copts.deadline = options.deadline;
+      res = SolveCdcl(enc.cnf(), copts, &out.sat_stats);
     }
     out.sat_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       sat_t0)
             .count();
     if (res.kind != SatResult::Kind::kSat) {
+      // A give-up under an expired deadline is a budget failure, not
+      // evidence the update is untranslatable.
+      if (res.kind == SatResult::Kind::kUnknown &&
+          options.deadline.expired()) {
+        return Status::DeadlineExceeded(
+            "insertion translation: deadline expired in the SAT solver");
+      }
       return Status::Rejected(
           "insertion rejected: no side-effect-free assignment found (" +
           std::string(res.kind == SatResult::Kind::kUnsat

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "src/common/deadline.h"
 #include "src/common/status.h"
 #include "src/relational/database.h"
 #include "src/sat/portfolio.h"
@@ -45,6 +46,12 @@ struct InsertOptions {
   /// The set of side-effect conditions found is the same either way; only
   /// the enumeration order — and hence CNF clause order — changes.
   bool reorder_occurrences = true;
+  /// Wall-clock budget threaded into every solver lane (portfolio or the
+  /// legacy chain). When the solver gives up and the deadline has
+  /// expired, the translation returns kDeadlineExceeded instead of the
+  /// usual kRejected, so callers can tell "budget ran out" from
+  /// "probably untranslatable". Default infinite: no behaviour change.
+  Deadline deadline;
 };
 
 /// Statistics and result of a group-insertion translation.

@@ -3,12 +3,24 @@
 
 #include <vector>
 
+#include "src/common/deadline.h"
 #include "src/common/status.h"
 #include "src/relational/database.h"
 #include "src/viewupdate/delete.h"
 #include "src/viewupdate/view_store.h"
 
 namespace xvu {
+
+struct MinimalDeleteOptions {
+  /// Instances with at most this many distinct candidate source tuples
+  /// are refined by exact branch-and-bound after the greedy pass.
+  size_t exact_threshold = 24;
+  /// Wall-clock budget. Already-expired on entry => kDeadlineExceeded;
+  /// expiry during the branch-and-bound degrades the anytime search to
+  /// its incumbent (never worse than the greedy seed) instead of
+  /// failing. Default infinite: identical behaviour to no deadline.
+  Deadline deadline;
+};
 
 /// The minimal view deletion problem (Section 4.2): among all valid ∆R's
 /// for a group deletion ∆V, find one with the fewest tuple deletions.
@@ -27,7 +39,8 @@ namespace xvu {
 /// one side-effect-free source tuple; returns Rejected when impossible.
 Result<RelationalUpdate> TranslateMinimalDeletion(
     const ViewStore& store, const Database& base,
-    const std::vector<ViewRowOp>& deletions, size_t exact_threshold = 24);
+    const std::vector<ViewRowOp>& deletions,
+    const MinimalDeleteOptions& options = {});
 
 }  // namespace xvu
 

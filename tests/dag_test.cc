@@ -252,5 +252,143 @@ TEST(DagView, CanonicalEdgesStableUnderIdRenaming) {
   EXPECT_EQ(d1.CanonicalEdges(), d2.CanonicalEdges());
 }
 
+/// Deep structural equality through the public API — including exact
+/// children order, parents-vector layout, node-id allocation, and the
+/// journal tail — the "bit-identical" bar RewindTo is held to.
+void ExpectIdentical(const DagView& a, const DagView& b) {
+  ASSERT_EQ(a.capacity(), b.capacity());
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.version(), b.version());
+  EXPECT_EQ(a.root(), b.root());
+  for (NodeId id = 0; id < a.capacity(); ++id) {
+    ASSERT_EQ(a.alive(id), b.alive(id)) << "node " << id;
+    EXPECT_EQ(a.node(id).type, b.node(id).type);
+    EXPECT_EQ(a.node(id).attr, b.node(id).attr);
+    EXPECT_EQ(a.children(id), b.children(id)) << "children of " << id;
+    EXPECT_EQ(a.parents(id), b.parents(id)) << "parents of " << id;
+    if (a.alive(id)) {
+      EXPECT_EQ(a.FindNode(a.node(id).type, a.node(id).attr), id);
+      EXPECT_EQ(b.FindNode(b.node(id).type, b.node(id).attr), id);
+    }
+  }
+  // Journal tails must agree so post-rewind incremental maintenance
+  // replays the same window on both.
+  std::vector<DagDelta> ja = a.JournalSince(0);
+  std::vector<DagDelta> jb = b.JournalSince(0);
+  ASSERT_EQ(ja.size(), jb.size());
+  for (size_t i = 0; i < ja.size(); ++i) {
+    EXPECT_EQ(ja[i].ToString(), jb[i].ToString());
+  }
+}
+
+TEST(DagRewind, UndoesEveryMutationKind) {
+  DagView dag = RandomDag(12, 0.3, 7);
+  DagView snapshot = dag;
+  const uint64_t v0 = dag.version();
+
+  // One of each mutation kind, including an edge removal from the
+  // middle of a child list (exercises the positional undo).
+  NodeId r = dag.root();
+  ASSERT_GE(dag.children(r).size(), 1u);
+  NodeId mid = dag.children(r)[dag.children(r).size() / 2];
+  ASSERT_TRUE(dag.RemoveEdge(r, mid).ok());
+  NodeId fresh = dag.GetOrAddNode("fresh", {Value::Int(99)});
+  dag.AddEdge(r, fresh);
+  dag.SetRoot(fresh);
+  ASSERT_TRUE(dag.RemoveEdge(r, fresh).ok());
+  ASSERT_TRUE(dag.RemoveNode(fresh).ok());
+  ASSERT_NE(dag.version(), v0);
+
+  ASSERT_TRUE(dag.RewindTo(v0).ok());
+  ExpectIdentical(dag, snapshot);
+}
+
+TEST(DagRewind, RetryAfterRewindMatchesNeverRewoundRun) {
+  // Apply the same mutation sequence to a rewound DAG and to a pristine
+  // copy: node ids, versions, and journals must match exactly.
+  DagView dag = RandomDag(10, 0.25, 11);
+  DagView pristine = dag;
+  const uint64_t v0 = dag.version();
+
+  auto mutate = [](DagView* d) {
+    NodeId n1 = d->GetOrAddNode("m", {Value::Int(1)});
+    NodeId n2 = d->GetOrAddNode("m", {Value::Int(2)});
+    d->AddEdge(d->root(), n1);
+    d->AddEdge(n1, n2);
+  };
+  mutate(&dag);  // first attempt, will be "faulted" and rewound
+  ASSERT_TRUE(dag.RewindTo(v0).ok());
+  mutate(&dag);       // the retry
+  mutate(&pristine);  // the never-faulted reference
+  ExpectIdentical(dag, pristine);
+}
+
+TEST(DagRewind, FuzzRandomMutationWindows) {
+  Rng rng(123);
+  for (int round = 0; round < 30; ++round) {
+    DagView dag = RandomDag(8 + rng.Below(12), 0.3, 1000 + round);
+    DagView snapshot = dag;
+    const uint64_t v0 = dag.version();
+    // Random mutation burst: adds, ordered removals, tombstones.
+    for (int i = 0; i < 15; ++i) {
+      switch (rng.Below(4)) {
+        case 0:
+          dag.GetOrAddNode("z", {Value::Int(rng.Range(0, 30))});
+          break;
+        case 1: {
+          NodeId u = static_cast<NodeId>(rng.Below(dag.capacity()));
+          NodeId v = static_cast<NodeId>(rng.Below(dag.capacity()));
+          if (dag.alive(u) && dag.alive(v) && u != v && !dag.HasEdge(v, u)) {
+            dag.AddEdge(u, v);
+          }
+          break;
+        }
+        case 2: {
+          NodeId u = static_cast<NodeId>(rng.Below(dag.capacity()));
+          if (dag.alive(u) && !dag.children(u).empty()) {
+            dag.RemoveEdge(
+                u, dag.children(u)[rng.Below(dag.children(u).size())]);
+          }
+          break;
+        }
+        case 3: {
+          NodeId u = static_cast<NodeId>(rng.Below(dag.capacity()));
+          if (dag.alive(u) && dag.children(u).empty() &&
+              dag.parents(u).empty()) {
+            dag.RemoveNode(u);
+          }
+          break;
+        }
+      }
+    }
+    ASSERT_TRUE(dag.RewindTo(v0).ok()) << "round " << round;
+    ExpectIdentical(dag, snapshot);
+  }
+}
+
+TEST(DagRewind, FutureVersionRejected) {
+  DagView dag = RandomDag(5, 0.2, 3);
+  Status s = dag.RewindTo(dag.version() + 1);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DagRewind, EvictedWindowReportsUnavailable) {
+  // A tiny journal capacity forces eviction; the rewind must refuse
+  // rather than corrupt, and leave the DAG untouched.
+  DagView dag;
+  NodeId r = dag.GetOrAddNode("r", {});
+  dag.SetRoot(r);
+  const uint64_t v0 = dag.version();
+  for (int i = 0; i < 70000; ++i) {  // overflow kDefaultCapacity = 1<<16
+    dag.GetOrAddNode("n", {Value::Int(i)});
+  }
+  (void)r;
+  const uint64_t v_before = dag.version();
+  Status s = dag.RewindTo(v0);
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+  EXPECT_EQ(dag.version(), v_before);  // untouched
+}
+
 }  // namespace
 }  // namespace xvu

@@ -111,5 +111,61 @@ TEST(DagView, RemoveEdgeKeepsParentSetIntact) {
   EXPECT_FALSE(dag.RemoveEdge(p1, c).ok());  // already gone
 }
 
+TEST(DagJournal, TruncateAfterDropsNewerEntries) {
+  DagJournal j;
+  for (uint64_t v = 1; v <= 10; ++v) {
+    DagDelta d;
+    d.kind = DagDelta::Kind::kNodeAdded;
+    d.node = static_cast<NodeId>(v);
+    d.version = v;
+    j.Append(d);
+  }
+  j.TruncateAfter(6);
+  EXPECT_EQ(j.size(), 6u);
+  EXPECT_EQ(j.CountSince(0), 6u);
+  EXPECT_TRUE(j.Since(6).empty());
+  std::vector<DagDelta> tail = j.Since(4);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail.back().version, 6u);
+  // Truncating at/above the newest version is a no-op.
+  j.TruncateAfter(6);
+  EXPECT_EQ(j.size(), 6u);
+  // Truncating below the oldest retained version empties the journal.
+  j.TruncateAfter(0);
+  EXPECT_TRUE(j.empty());
+}
+
+TEST(DagJournal, EdgeRemovalRecordsExactPositions) {
+  DagView dag;
+  NodeId r = dag.GetOrAddNode("r", {});
+  NodeId a = dag.GetOrAddNode("a", {});
+  NodeId b = dag.GetOrAddNode("b", {});
+  NodeId c = dag.GetOrAddNode("c", {});
+  dag.AddEdge(r, a);
+  dag.AddEdge(r, b);
+  dag.AddEdge(r, c);
+  const uint64_t before = dag.version();
+  ASSERT_TRUE(dag.RemoveEdge(r, b).ok());  // middle child
+  std::vector<DagDelta> w = dag.JournalSince(before);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0].kind, DagDelta::Kind::kEdgeRemoved);
+  EXPECT_EQ(w[0].child_pos, 1u);   // b was children_[r][1]
+  EXPECT_EQ(w[0].parent_pos, 0u);  // r was parents_[b][0]
+}
+
+TEST(DagJournal, RootChangeRecordsPreviousRoot) {
+  DagView dag;
+  NodeId r1 = dag.GetOrAddNode("r1", {});
+  NodeId r2 = dag.GetOrAddNode("r2", {});
+  dag.SetRoot(r1);
+  const uint64_t before = dag.version();
+  dag.SetRoot(r2);
+  std::vector<DagDelta> w = dag.JournalSince(before);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0].kind, DagDelta::Kind::kRootChanged);
+  EXPECT_EQ(w[0].node, r2);
+  EXPECT_EQ(w[0].prev_root, r1);
+}
+
 }  // namespace
 }  // namespace xvu

@@ -16,6 +16,12 @@
 namespace xvu {
 namespace {
 
+MinimalDeleteOptions Threshold(size_t exact_threshold) {
+  MinimalDeleteOptions o;
+  o.exact_threshold = exact_threshold;
+  return o;
+}
+
 /// Fuzz harness over the synthetic dataset: random parent subsets of the
 /// "sub" edge view become group deletions, then both solver paths (greedy
 /// only via exact_threshold = 0, and branch-and-bound via a huge
@@ -116,10 +122,10 @@ TEST_F(MinimalDeleteFuzzTest, ExactNeverWorseThanGreedyAndBothValid) {
       const auto& rows = by_parent_[parents[i]];
       dv.insert(dv.end(), rows.begin(), rows.end());
     }
-    auto greedy =
-        TranslateMinimalDeletion(sys_->store(), sys_->database(), dv, 0);
+    auto greedy = TranslateMinimalDeletion(sys_->store(), sys_->database(),
+                                           dv, Threshold(0));
     auto exact = TranslateMinimalDeletion(sys_->store(), sys_->database(),
-                                          dv, 1u << 20);
+                                          dv, Threshold(1u << 20));
     // Feasibility is decided before either solver runs: both paths must
     // agree on it.
     ASSERT_EQ(greedy.ok(), exact.ok()) << "round " << round;
@@ -147,10 +153,10 @@ TEST_F(MinimalDeleteFuzzTest, SharedChildrenBenefitFromExactCover) {
     dv.insert(dv.end(), rows.begin(), rows.end());
     if (++taken == 8) break;
   }
-  auto greedy =
-      TranslateMinimalDeletion(sys_->store(), sys_->database(), dv, 0);
-  auto exact =
-      TranslateMinimalDeletion(sys_->store(), sys_->database(), dv, 1u << 20);
+  auto greedy = TranslateMinimalDeletion(sys_->store(), sys_->database(), dv,
+                                         Threshold(0));
+  auto exact = TranslateMinimalDeletion(sys_->store(), sys_->database(), dv,
+                                        Threshold(1u << 20));
   ASSERT_EQ(greedy.ok(), exact.ok());
   if (!greedy.ok()) GTEST_SKIP() << "instance untranslatable: "
                                  << greedy.status().ToString();

@@ -1,0 +1,103 @@
+// Tests for Status / Result<T>: every code's ToString rendering, the
+// factory helpers, the predicate accessors, and the propagation macros.
+
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xvu {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ToStringCoversEveryCode) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    std::string rendered;
+  };
+  const std::vector<Case> cases = {
+      {Status::OK(), StatusCode::kOk, "OK"},
+      {Status::InvalidArgument("bad path"), StatusCode::kInvalidArgument,
+       "InvalidArgument: bad path"},
+      {Status::NotFound("no such table"), StatusCode::kNotFound,
+       "NotFound: no such table"},
+      {Status::AlreadyExists("dup key"), StatusCode::kAlreadyExists,
+       "AlreadyExists: dup key"},
+      {Status::Rejected("side effects"), StatusCode::kRejected,
+       "Rejected: side effects"},
+      {Status::Internal("invariant"), StatusCode::kInternal,
+       "Internal: invariant"},
+      {Status::DeadlineExceeded("budget spent"),
+       StatusCode::kDeadlineExceeded, "DeadlineExceeded: budget spent"},
+      {Status::Unavailable("journal evicted"), StatusCode::kUnavailable,
+       "Unavailable: journal evicted"},
+      {Status::DataLoss("crc mismatch"), StatusCode::kDataLoss,
+       "DataLoss: crc mismatch"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(c.status.code(), c.code) << c.rendered;
+    EXPECT_EQ(c.status.ToString(), c.rendered);
+    EXPECT_EQ(c.status.ok(), c.code == StatusCode::kOk) << c.rendered;
+  }
+}
+
+TEST(StatusTest, Predicates) {
+  EXPECT_TRUE(Status::Rejected("r").IsRejected());
+  EXPECT_TRUE(Status::DeadlineExceeded("d").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::Unavailable("u").IsUnavailable());
+  EXPECT_TRUE(Status::DataLoss("l").IsDataLoss());
+
+  const Status ok = Status::OK();
+  EXPECT_FALSE(ok.IsRejected());
+  EXPECT_FALSE(ok.IsDeadlineExceeded());
+  EXPECT_FALSE(ok.IsUnavailable());
+  EXPECT_FALSE(ok.IsDataLoss());
+
+  // Each predicate matches exactly its own code.
+  EXPECT_FALSE(Status::DeadlineExceeded("d").IsRejected());
+  EXPECT_FALSE(Status::Unavailable("u").IsDataLoss());
+  EXPECT_FALSE(Status::DataLoss("l").IsUnavailable());
+}
+
+TEST(StatusTest, MessagePreserved) {
+  Status s = Status::DataLoss("table R: column 2 crc mismatch");
+  EXPECT_EQ(s.message(), "table R: column 2 crc mismatch");
+}
+
+Status FailsWith(Status inner) {
+  XVU_RETURN_NOT_OK(inner);
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusTest, ReturnNotOkPropagatesNewCodes) {
+  EXPECT_EQ(FailsWith(Status::DeadlineExceeded("x")).code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(FailsWith(Status::Unavailable("x")).code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(FailsWith(Status::DataLoss("x")).code(), StatusCode::kDataLoss);
+}
+
+TEST(ResultTest, HoldsValueOrNewStatusCodes) {
+  Result<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+
+  Result<int> e(Status::DataLoss("bad block"));
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(e.status().ToString(), "DataLoss: bad block");
+}
+
+}  // namespace
+}  // namespace xvu

@@ -149,7 +149,9 @@ TEST_F(ViewUpdateTest, MinimalDeletionGreedyPath) {
     auto rows = EdgeDeletion("takenBy", tb, "student", s02);
     dv.insert(dv.end(), rows.begin(), rows.end());
   }
-  auto dr = TranslateMinimalDeletion(store_, db_, dv, 0);
+  MinimalDeleteOptions opts;
+  opts.exact_threshold = 0;
+  auto dr = TranslateMinimalDeletion(store_, db_, dv, opts);
   ASSERT_TRUE(dr.ok());
   EXPECT_EQ(dr->ops.size(), 1u);  // greedy also finds the shared student
 }
