@@ -1,0 +1,203 @@
+// MVCC snapshot-reader throughput under a live writer (the tentpole
+// measurement of docs/architecture.md §MVCC snapshots): one writer
+// thread streams insertion statements into the synthetic dataset while
+// 1/2/4/8 reader threads acquire snapshots and evaluate a fixed XPath
+// pool. Readers never take the writer lock, so aggregate read throughput
+// should scale with the reader count while the writer keeps committing.
+//
+// Structural assertions (always on): every read succeeds; each reader's
+// pinned epochs are non-decreasing (epoch publication is monotone);
+// the writer makes progress at every reader count (readers never block
+// writers); and a final snapshot evaluation is bit-identical to a live
+// Query of the quiesced system.
+//
+// Emits BENCH_snapshot.json (XVU_BENCH_JSON overrides the name) with the
+// reader sweep. Knobs: XVU_BENCH_SNAP_C (|C| of the synthetic dataset,
+// default 5000), XVU_BENCH_SNAP_MS (measurement window per reader count,
+// default 250), XVU_BENCH_SNAP_OPS (writer statements prepared, default
+// 512).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/snapshot.h"
+#include "src/workload/workloads.h"
+#include "src/xpath/parser.h"
+
+namespace xvu {
+namespace bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t EnvOr(const char* name, int64_t fallback) {
+  const char* env = std::getenv(name);
+  return env != nullptr ? std::atoll(env) : fallback;
+}
+
+int failures = 0;
+
+void Check(bool ok, const std::string& what) {
+  if (ok) {
+    std::printf("  [ok] %s\n", what.c_str());
+  } else {
+    std::printf("  [FAIL] %s\n", what.c_str());
+    ++failures;
+  }
+}
+
+std::string Fingerprint(const EvalResult& r) {
+  std::vector<NodeId> sel = r.selected;
+  std::sort(sel.begin(), sel.end());
+  std::string out;
+  for (NodeId n : sel) out += std::to_string(n) + ",";
+  return out;
+}
+
+struct SweepPoint {
+  size_t readers = 0;
+  size_t reads = 0;
+  size_t writer_commits = 0;
+  double seconds = 0;
+  double reads_per_sec = 0;
+};
+
+SweepPoint RunPoint(size_t n, size_t num_readers, int window_ms,
+                    const std::vector<std::string>& stmts) {
+  UpdateSystem* sys = FreshSystemFor(n, /*seed=*/17);
+  std::vector<Path> pool;
+  for (const char* xp :
+       {"//C", "//C/sub/C", "//C/sub/C/sub/C", "//C[sub/C]/sub"}) {
+    auto p = ParseXPath(xp);
+    if (!p.ok()) std::abort();
+    pool.push_back(std::move(*p));
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<size_t> total_reads{0};
+  std::atomic<size_t> read_errors{0};
+  std::atomic<size_t> epoch_regressions{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(num_readers);
+  for (size_t r = 0; r < num_readers; ++r) {
+    readers.emplace_back([&, r] {
+      uint64_t last_epoch = 0;
+      size_t it = r;
+      while (!done.load(std::memory_order_acquire)) {
+        Snapshot snap = sys->AcquireSnapshot();
+        if (snap.epoch() < last_epoch) {
+          epoch_regressions.fetch_add(1, std::memory_order_relaxed);
+        }
+        last_epoch = snap.epoch();
+        auto res = snap.Eval(pool[it++ % pool.size()]);
+        if (!res.ok()) read_errors.fetch_add(1, std::memory_order_relaxed);
+        total_reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Writer on the bench thread: stream statements until the window
+  // closes, cycling the prepared workload (replays are idempotent
+  // inserts — still full commit-path traffic).
+  size_t commits = 0;
+  size_t at = 0;
+  auto t0 = Clock::now();
+  const auto window = std::chrono::milliseconds(window_ms);
+  while (Clock::now() - t0 < window) {
+    Status st = sys->ApplyStatement(stmts[at++ % stmts.size()]);
+    if (st.ok()) ++commits;
+  }
+  double seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  Check(read_errors.load() == 0,
+        std::to_string(num_readers) + " readers: all reads succeeded (" +
+            std::to_string(total_reads.load()) + " reads)");
+  Check(epoch_regressions.load() == 0,
+        std::to_string(num_readers) + " readers: pinned epochs monotone");
+  Check(commits > 0, std::to_string(num_readers) +
+                         " readers: writer progressed (" +
+                         std::to_string(commits) + " commits)");
+
+  // Quiesced cross-check: a fresh snapshot must read exactly what the
+  // live system reads.
+  Snapshot snap = sys->AcquireSnapshot();
+  auto pinned = snap.Eval(pool[0]);
+  auto live = sys->Query(pool[0]);
+  Check(pinned.ok() && live.ok() &&
+            Fingerprint(*pinned) == Fingerprint(*live),
+        std::to_string(num_readers) + " readers: snapshot == live query");
+
+  SweepPoint pt;
+  pt.readers = num_readers;
+  pt.reads = total_reads.load();
+  pt.writer_commits = commits;
+  pt.seconds = seconds;
+  pt.reads_per_sec = seconds > 0 ? static_cast<double>(pt.reads) / seconds
+                                 : 0;
+  return pt;
+}
+
+int Run() {
+  size_t n = static_cast<size_t>(EnvOr("XVU_BENCH_SNAP_C", 5000));
+  int window_ms = static_cast<int>(EnvOr("XVU_BENCH_SNAP_MS", 250));
+  size_t num_ops = static_cast<size_t>(EnvOr("XVU_BENCH_SNAP_OPS", 512));
+
+  std::printf("snapshot readers: C=%zu window=%dms cores=%u\n", n,
+              window_ms, std::thread::hardware_concurrency());
+
+  // Prepared writer workload (generated once against the first system's
+  // base; the statement text is dataset-deterministic).
+  UpdateSystem* probe = FreshSystemFor(n, /*seed=*/17);
+  auto stmts = MakeInsertionWorkload(WorkloadClass::kW1, probe->database(),
+                                     num_ops, /*seed=*/4242);
+  if (!stmts.ok() || stmts->empty()) {
+    std::fprintf(stderr, "workload: %s\n",
+                 stmts.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<SweepPoint> sweep;
+  for (size_t readers : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    sweep.push_back(RunPoint(n, readers, window_ms, *stmts));
+    const SweepPoint& pt = sweep.back();
+    std::printf("  readers=%zu reads=%zu (%.0f/s) writer_commits=%zu\n",
+                pt.readers, pt.reads, pt.reads_per_sec, pt.writer_commits);
+  }
+
+  const char* json_name = std::getenv("XVU_BENCH_JSON");
+  std::string fname =
+      json_name != nullptr ? json_name : "BENCH_snapshot.json";
+  FILE* f = std::fopen(fname.c_str(), "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"C\": %zu, \"window_ms\": %d, \"cores\": %u,\n"
+                    "  \"reader_sweep\": [",
+                 n, window_ms, std::thread::hardware_concurrency());
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      std::fprintf(f,
+                   "%s{\"readers\": %zu, \"reads\": %zu, "
+                   "\"reads_per_sec\": %.1f, \"writer_commits\": %zu}",
+                   i ? ", " : "", sweep[i].readers, sweep[i].reads,
+                   sweep[i].reads_per_sec, sweep[i].writer_commits);
+    }
+    std::fprintf(f, "]\n}\n");
+    std::fclose(f);
+    std::printf("  wrote %s\n", fname.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace xvu
+
+int main() { return xvu::bench::Run(); }

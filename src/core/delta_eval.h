@@ -27,14 +27,24 @@ namespace xvu {
 ///    added edges' parent endpoints (the only nodes whose subtrees, and
 ///    hence downward-filter values, changed) — reconstructs the exact
 ///    fixpoint of a fresh forward pass.
+///  - Windows containing removals (and paths with negation) take the
+///    exact general patcher: level by level, a candidate set bounds the
+///    nodes whose membership can have changed — the previous level's
+///    flips, the endpoints of changed edges, the removed nodes, plus the
+///    current-M ancestor closure for filter levels and descendant closure
+///    for // levels (old-graph chains decompose into current-graph
+///    segments joined at changed-edge endpoints, so closing over the
+///    current M from those seeds covers every old chain) — and each
+///    candidate's membership is recomputed from the step's definition
+///    against the current DAG, subtracting exact cones instead of
+///    invalidating the entry.
 ///  - The backward phase (pruning, side effects, Ep(r)) is then re-derived
 ///    from the patched trace via XPathEvaluator::FinishFromTrace.
 ///
 /// Returns false without touching `entry` when the window is not
-/// patchable — it contains removals or a root change (non-monotone), the
-/// path contains negation, the entry carries no trace, or the window is
-/// too large for the patch to be worth it — and the caller must fall back
-/// to a fresh evaluation.
+/// patchable — it contains a root change, the entry carries no trace, or
+/// the window is too large for the patch to be worth it — and the caller
+/// must fall back to a fresh evaluation.
 ///
 /// Preconditions: `topo`/`reach` are the maintained L and M of the
 /// *current* DAG (the engine maintains them before the next batch's

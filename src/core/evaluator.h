@@ -1,6 +1,7 @@
 #ifndef XVU_CORE_EVALUATOR_H_
 #define XVU_CORE_EVALUATOR_H_
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -46,6 +47,20 @@ struct DenseNodeSet {
   }
   void EnsureCapacity(size_t cap) {
     if (cap > mask.size()) mask.resize(cap, 0);
+  }
+  /// Marks `v` absent; `items` keeps a stale copy until CompactItems().
+  /// Removal-window delta patching uses the pair to take nodes out of a
+  /// trace level in O(1) per node plus one O(level) compaction.
+  void RemoveDeferred(NodeId v) {
+    if (v < mask.size()) mask[v] = 0;
+  }
+  /// Drops items whose mask bit was cleared, preserving the order of the
+  /// survivors (trace item order feeds the backward pass and must stay
+  /// deterministic).
+  void CompactItems() {
+    items.erase(std::remove_if(items.begin(), items.end(),
+                               [this](NodeId v) { return mask[v] == 0; }),
+                items.end());
   }
 };
 

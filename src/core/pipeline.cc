@@ -128,6 +128,61 @@ const EvalResult* PathEvalCache::Lookup(const std::string& key,
   return &it->second.eval.result;
 }
 
+bool PathEvalCache::LookupCopy(const std::string& key, uint64_t dag_version,
+                               EvalResult* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  if (it->second.version != dag_version) {
+    EraseEntry(it);
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  *out = it->second.eval.result;
+  return true;
+}
+
+void PathEvalCache::AdoptPatched(const PathEvalCache& from, const DagView& dag,
+                                 const TopoOrder& topo,
+                                 const Reachability& reach) {
+  // Copy the source entries out under the source's lock (live snapshot
+  // readers may still be storing into it), then patch and store without
+  // holding both locks at once.
+  std::vector<std::pair<std::string, std::pair<uint64_t, CachedEval>>> copied;
+  {
+    std::lock_guard<std::mutex> lock(from.mu_);
+    copied.reserve(from.entries_.size());
+    for (const auto& [key, entry] : from.entries_) {
+      copied.emplace_back(key,
+                          std::make_pair(entry.version, entry.eval));
+    }
+  }
+  std::sort(copied.begin(), copied.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const uint64_t version = dag.version();
+  for (auto& [key, stamped] : copied) {
+    auto& [entry_version, eval] = stamped;
+    bool ok = entry_version == version;
+    if (!ok && dag.JournalCovers(entry_version)) {
+      ok = TryPatchEval(dag, topo, reach, dag.JournalSince(entry_version),
+                        &eval);
+    }
+    if (!ok) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.invalidations;
+      continue;
+    }
+    Store(std::move(key), version, std::move(eval));
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.delta_patches;
+  }
+}
+
 const EvalResult* PathEvalCache::LookupOrPatch(const std::string& key,
                                                const DagView& dag,
                                                const TopoOrder& topo,
@@ -262,8 +317,10 @@ std::string OpLabel(size_t index, const XmlUpdate& op) {
 }  // namespace
 
 Status UpdateSystem::ApplyBatch(const UpdateBatch& batch) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
   stats_ = UpdateStats{};
   stats_.batch_ops = batch.size();
+  stats_.snapshot_version = dag_.version();
   if (batch.empty()) return Status::OK();
   WriteUndo ctx;
   ctx.snapshot_version = dag_.version();
@@ -278,12 +335,14 @@ Status UpdateSystem::ApplyBatch(const UpdateBatch& batch) {
   Status st = ApplyBatchImpl(batch, &ctx);
   if (st.ok()) {
     eval_cache_.CommitScope();
+    PublishEpoch();
     return st;
   }
   Status rb = RollbackWrite(ctx);
   // After a RollbackWrite resync (journal window evicted) the cache was
   // Clear()ed, which discards the scope; RollbackScope is then a no-op.
   eval_cache_.RollbackScope(ctx.snapshot_version);
+  PublishEpoch();
   if (!rb.ok()) return rb;
   return st;
 }

@@ -97,6 +97,25 @@ class PathEvalCache {
   /// An entry at any other version is evicted (counted as invalidation).
   const EvalResult* Lookup(const std::string& key, uint64_t dag_version);
 
+  /// Copying variant of Lookup for concurrent snapshot readers: the
+  /// result crosses the lock boundary by value, so a racing Store on the
+  /// same key can never mutate an entry another reader is still copying
+  /// out. Accounting matches Lookup (hit, or miss + invalidation).
+  bool LookupCopy(const std::string& key, uint64_t dag_version,
+                  EvalResult* out);
+
+  /// Carries `from`'s entries forward to `dag.version()`: each traced
+  /// entry whose version the journal still covers is delta-patched
+  /// (TryPatchEval) and stored here at the current version; unpatchable
+  /// or traceless entries are dropped (their readers lazily re-evaluate).
+  /// Keys are adopted in sorted order so the rebuilt recency list — and
+  /// hence eviction — is deterministic. `from` may be concurrently read
+  /// and written by snapshot readers; its entries are copied out under
+  /// its own lock first. Counts one delta_patch per adopted entry and
+  /// one invalidation per drop.
+  void AdoptPatched(const PathEvalCache& from, const DagView& dag,
+                    const TopoOrder& topo, const Reachability& reach);
+
   /// Stores (replacing any entry for `key`) and returns the stored result.
   /// The CachedEval overload retains the forward trace and is patchable
   /// across versions; the plain EvalResult overload only ever hits at its

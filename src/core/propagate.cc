@@ -148,6 +148,13 @@ Status UpdateSystem::PropagateBaseDelete(const std::string& table,
 }
 
 Status UpdateSystem::ApplyRelationalUpdate(const RelationalUpdate& dr) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  Status st = ApplyRelationalUpdateImpl(dr);
+  PublishEpoch();
+  return st;
+}
+
+Status UpdateSystem::ApplyRelationalUpdateImpl(const RelationalUpdate& dr) {
   for (const TableOp& op : dr.ops) {
     Table* t = db_.GetTable(op.table);
     if (t == nullptr) return Status::NotFound("table " + op.table);

@@ -39,8 +39,12 @@ Result<std::unique_ptr<UpdateSystem>> UpdateSystem::Create(Atg atg,
 Status UpdateSystem::Initialize() {
   // Reset any previous state: Initialize doubles as a full resync. The
   // eval cache must go too — a fresh DagView restarts its version counter,
-  // so stale entries could otherwise collide with new versions.
+  // so stale entries could otherwise collide with new versions. The same
+  // aliasing argument drops the cached snapshot state: already-pinned
+  // handles keep serving their (pre-resync) epoch from their own copy,
+  // but new acquisitions must rebuild against the fresh counter.
   eval_cache_.Clear();
+  published_.reset();
   if (options_.worker_threads > 1 && pool_ == nullptr) {
     pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
   }
@@ -49,7 +53,38 @@ Status UpdateSystem::Initialize() {
   Publisher pub(&atg_, &db_);
   XVU_ASSIGN_OR_RETURN(dag_, pub.PublishAll(&store_));
   XVU_RETURN_NOT_OK(engine_.Rebuild(dag_));
+  read_epoch_.store(dag_.version(), std::memory_order_release);
   return Status::OK();
+}
+
+void UpdateSystem::PublishEpoch() {
+  const uint64_t version = dag_.version();
+  uint64_t floor = epochs_->MinPinnedOr(version);
+  if (published_ != nullptr && published_->epoch < floor) {
+    floor = published_->epoch;
+  }
+  dag_.SetJournalRetainFloor(floor);
+  read_epoch_.store(version, std::memory_order_release);
+}
+
+Snapshot UpdateSystem::AcquireSnapshot() {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  if (published_ == nullptr || published_->epoch != dag_.version()) {
+    auto state = std::make_shared<SnapshotState>();
+    state->epoch = dag_.version();
+    state->dag = dag_;
+    state->topo = engine_.topo();
+    state->reach = engine_.reach();
+    if (published_ != nullptr) {
+      // Carry the previous epoch's eval memo forward through the ∆V
+      // journal so hot paths stay warm across epochs.
+      state->cache.AdoptPatched(published_->cache, state->dag, state->topo,
+                                state->reach);
+    }
+    published_ = std::move(state);
+    PublishEpoch();  // retain floor may now advance past retired epochs
+  }
+  return Snapshot(published_, epochs_);
 }
 
 Result<DagView> UpdateSystem::Republish() const {
@@ -327,18 +362,21 @@ std::string UpdateSystem::DebugFingerprint(bool strict) const {
 
 Status UpdateSystem::ApplyInsert(const std::string& elem_type,
                                  const Tuple& attr, const Path& p) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
   stats_ = UpdateStats{};
   stats_.batch_ops = 1;
   stats_.distinct_paths = 1;
   stats_.xpath_evaluations = 1;
   WriteUndo ctx;
   ctx.snapshot_version = dag_.version();
+  stats_.snapshot_version = ctx.snapshot_version;
   if (options_.op_timeout_seconds > 0) {
     ctx.deadline = Deadline::After(options_.op_timeout_seconds);
   }
   Status st = ApplyInsertImpl(elem_type, attr, p, &ctx);
-  if (st.ok()) return st;
-  XVU_RETURN_NOT_OK(RollbackWrite(ctx));
+  Status rb = st.ok() ? Status::OK() : RollbackWrite(ctx);
+  PublishEpoch();
+  XVU_RETURN_NOT_OK(rb);
   return st;
 }
 
@@ -462,18 +500,21 @@ Status UpdateSystem::ApplyInsertImpl(const std::string& elem_type,
 }
 
 Status UpdateSystem::ApplyDelete(const Path& p) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
   stats_ = UpdateStats{};
   stats_.batch_ops = 1;
   stats_.distinct_paths = 1;
   stats_.xpath_evaluations = 1;
   WriteUndo ctx;
   ctx.snapshot_version = dag_.version();
+  stats_.snapshot_version = ctx.snapshot_version;
   if (options_.op_timeout_seconds > 0) {
     ctx.deadline = Deadline::After(options_.op_timeout_seconds);
   }
   Status st = ApplyDeleteImpl(p, &ctx);
-  if (st.ok()) return st;
-  XVU_RETURN_NOT_OK(RollbackWrite(ctx));
+  Status rb = st.ok() ? Status::OK() : RollbackWrite(ctx);
+  PublishEpoch();
+  XVU_RETURN_NOT_OK(rb);
   return st;
 }
 

@@ -1,7 +1,9 @@
 #ifndef XVU_CORE_SYSTEM_H_
 #define XVU_CORE_SYSTEM_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -12,6 +14,7 @@
 #include "src/common/thread_pool.h"
 #include "src/core/evaluator.h"
 #include "src/core/pipeline.h"
+#include "src/core/snapshot.h"
 #include "src/core/update.h"
 #include "src/dag/maintenance.h"
 #include "src/dag/maintenance_engine.h"
@@ -50,6 +53,12 @@ struct UpdateStats {
   /// the per-op entry points report the single-op equivalents (batch_ops =
   /// xpath_evaluations = maintenance_passes = 1), so callers can compare
   /// the two paths uniformly.
+  /// dag().version() the op/batch evaluated against (the pre-write read
+  /// epoch). After a successful write the maintenance cursor and the
+  /// published read epoch both land on the new dag().version(), strictly
+  /// past this value; pipeline_test asserts the invariant.
+  uint64_t snapshot_version = 0;
+
   size_t batch_ops = 0;          ///< ops in this unit of work
   size_t distinct_paths = 0;     ///< distinct normal-form path keys
   size_t xpath_evaluations = 0;  ///< actual evaluator runs (cache misses)
@@ -174,9 +183,33 @@ class UpdateSystem {
   /// view cyclic; ops are applied one at a time, failing fast otherwise.
   Status ApplyRelationalUpdate(const RelationalUpdate& dr);
 
-  /// Read-only XPath query over the view.
+  /// Read-only XPath query over the view. Unsynchronized: sees the live
+  /// state and must not run concurrently with writers — concurrent
+  /// readers use AcquireSnapshot instead.
   Result<EvalResult> Query(const Path& p) const;
   Result<EvalResult> Query(const std::string& xpath) const;
+
+  /// MVCC reads. Pins the current read epoch and returns a handle whose
+  /// Eval sees exactly that version, from any thread, with no writer
+  /// blocking: the handle owns an immutable shared copy of the epoch's
+  /// state, so writers never wait on readers and readers never wait on
+  /// writers (acquisition itself briefly serializes with commits on
+  /// `commit_mu_`). The copy is amortized — one per write→read
+  /// transition, reused by every snapshot of the same epoch — and its
+  /// eval memo is carried across epochs by ∆V-journal patching. Writers
+  /// retire an epoch's journal window only once no snapshot pins it
+  /// (EpochRegistry → DagJournal retain floor).
+  Snapshot AcquireSnapshot();
+
+  /// The published read epoch: dag().version() as of the last committed
+  /// write. Monotone except across Initialize() resyncs, which restart
+  /// the version counter (and drop the published snapshot state).
+  uint64_t read_epoch() const {
+    return read_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Live pinned-snapshot count (test/diagnostic surface).
+  const EpochRegistry& epoch_registry() const { return *epochs_; }
 
   const Database& database() const { return db_; }
   const DagView& dag() const { return dag_; }
@@ -281,10 +314,21 @@ class UpdateSystem {
   /// reclaim can restore them.
   Status ReclaimCollected(const MaintenanceDelta& delta, WriteUndo* ctx);
 
+  /// ApplyRelationalUpdate's body; the public wrapper adds the writer
+  /// lock and epoch publication.
+  Status ApplyRelationalUpdateImpl(const RelationalUpdate& dr);
+
   /// Propagates one already-applied base insertion / deletion into the
   /// view (core/propagate.cc).
   Status PropagateBaseInsert(const std::string& table, const Tuple& row);
   Status PropagateBaseDelete(const std::string& table, const Tuple& row);
+
+  /// Publishes dag_.version() as the read epoch and refreshes the ∆V
+  /// journal's retain floor from the oldest pinned epoch (and the cached
+  /// published state, whose window the next carry-forward needs). Called
+  /// at the end of every write path — success or rollback — and on
+  /// snapshot-state rebuilds; commit_mu_ must be held.
+  void PublishEpoch();
 
   /// The pool backing ApplyBatch's parallel phases; null when
   /// options_.worker_threads <= 1 (fully serial).
@@ -299,6 +343,21 @@ class UpdateSystem {
   UpdateStats stats_;
   PathEvalCache eval_cache_;
   std::unique_ptr<ThreadPool> pool_;
+
+  /// Serializes writers with each other and with snapshot acquisition.
+  /// Snapshot *reads* never take it: a pinned handle owns immutable
+  /// state, so readers proceed while a writer holds this for a whole
+  /// batch. Held across every Apply* entry point.
+  std::mutex commit_mu_;
+  std::atomic<uint64_t> read_epoch_{0};
+  /// Shared with every issued Snapshot, so handles may outlive the
+  /// system and the writer can see the oldest pinned epoch.
+  std::shared_ptr<EpochRegistry> epochs_ = std::make_shared<EpochRegistry>();
+  /// Immutable state of the current read epoch; built lazily on the
+  /// first AcquireSnapshot after a write and reused until the epoch
+  /// moves. Reset by Initialize() — a resync restarts the version
+  /// counter, and a stale state must not alias a new epoch number.
+  std::shared_ptr<const SnapshotState> published_;
 };
 
 }  // namespace xvu

@@ -67,6 +67,13 @@ class DagView {
   size_t JournalCountSince(uint64_t since) const {
     return journal_.CountSince(since);
   }
+  /// MVCC retention: protects journal entries with version > `floor` from
+  /// capacity eviction (DagJournal::SetRetainFloor) so pinned read epochs
+  /// keep a replayable window while writers commit.
+  void SetJournalRetainFloor(uint64_t floor) {
+    journal_.SetRetainFloor(floor);
+  }
+  uint64_t journal_retain_floor() const { return journal_.retain_floor(); }
 
   /// Creates the node for (type, attr), or returns the existing one.
   NodeId GetOrAddNode(const std::string& type, const Tuple& attr);

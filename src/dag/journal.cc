@@ -27,7 +27,14 @@ std::string DagDelta::ToString() const {
 
 void DagJournal::Append(DagDelta delta) {
   entries_.push_back(delta);
-  if (entries_.size() > capacity_) entries_.pop_front();
+  // Evict oldest-first past `capacity_`, skipping entries the retain
+  // floor protects — unless the hard cap is hit, where memory wins and
+  // the protected consumer degrades to a full recomputation.
+  while (entries_.size() > capacity_ &&
+         (entries_.front().version <= retain_floor_ ||
+          entries_.size() > capacity_ * kRetainFloorMaxFactor)) {
+    entries_.pop_front();
+  }
 }
 
 bool DagJournal::Covers(uint64_t since) const {

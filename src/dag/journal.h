@@ -50,14 +50,31 @@ struct DagDelta {
 /// so consumers must check Covers(since) before replaying: a cursor that
 /// fell behind the retained window gets `false` and must fall back to a
 /// full recomputation instead of an incremental replay.
+///
+/// MVCC retention: SetRetainFloor(v) protects entries with version > v
+/// from capacity eviction, so the window a pinned read epoch (or the
+/// next snapshot's cache carry-forward) needs stays replayable while
+/// writers keep committing. The protection is bounded: past
+/// kRetainFloorMaxFactor × capacity entries the oldest is evicted
+/// regardless, and consumers behind the trimmed window degrade to full
+/// recomputation through the usual Covers() check.
 class DagJournal {
  public:
   static constexpr size_t kDefaultCapacity = 1 << 16;
+  /// Hard cap multiple on retain-floor growth (see class comment).
+  static constexpr size_t kRetainFloorMaxFactor = 4;
 
   explicit DagJournal(size_t capacity = kDefaultCapacity)
       : capacity_(capacity) {}
 
   void Append(DagDelta delta);
+
+  /// Entries with version > `floor` survive capacity eviction (up to the
+  /// hard cap). Monotonicity is not required: publishing a newer floor
+  /// simply re-exposes older entries to eviction on the next Append. The
+  /// default (UINT64_MAX) protects nothing.
+  void SetRetainFloor(uint64_t floor) { retain_floor_ = floor; }
+  uint64_t retain_floor() const { return retain_floor_; }
 
   /// True iff every mutation with version > `since` is still retained
   /// (equivalently: replaying Since(since) reproduces the DAG's current
@@ -83,6 +100,7 @@ class DagJournal {
 
  private:
   size_t capacity_;
+  uint64_t retain_floor_ = static_cast<uint64_t>(-1);
   std::deque<DagDelta> entries_;
 };
 

@@ -37,9 +37,14 @@ const char* MaintenanceStrategyName(MaintenanceStrategy s);
 /// maintained_version)` incrementally or rebuilds wholesale, per strategy.
 /// Each replay is driven purely by its journal window, so it is a
 /// self-contained unit of work; today it always runs synchronously in the
-/// update pipeline. Executing it on a background worker behind a version
-/// cursor is designed but not implemented — ROADMAP "Async maintenance
-/// service" and docs/architecture.md §Maintenance track it.
+/// update pipeline, and after a committed write the cursor, the DAG
+/// version, and the published MVCC read epoch (UpdateSystem::read_epoch,
+/// docs/architecture.md §MVCC snapshots) all coincide — snapshot states
+/// copy M and L at acquisition, relying on exactly that invariant.
+/// Executing the replay on a background worker behind the cursor is
+/// designed but not implemented — ROADMAP "Async maintenance service"
+/// tracks it; the cursor would then trail the epoch instead of equaling
+/// it.
 class MaintenanceEngine {
  public:
   struct BatchOptions {

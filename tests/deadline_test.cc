@@ -20,6 +20,7 @@
 #include "src/sat/cdcl.h"
 #include "src/sat/portfolio.h"
 #include "src/sat/walksat.h"
+#include "src/viewupdate/minimal_delete.h"
 #include "src/workload/registrar.h"
 #include "src/xpath/parser.h"
 
@@ -139,6 +140,79 @@ TEST(DeadlineDegradation, UnboundedTimeoutStillApplies) {
   EXPECT_TRUE(st.ok()) << st.ToString();
 }
 
+TEST(DeadlineDegradation, ZeroTimeoutMeansUnboundedNotExpired) {
+  // The Options edge case: op_timeout_seconds = 0 is "no deadline", not
+  // Deadline::After(0) (which is already expired). Ops and batches run
+  // with an infinite budget.
+  UpdateSystem::Options options;
+  options.op_timeout_seconds = 0;
+  auto sys = MakeSystem(options);
+  Status st = sys->ApplyInsert("student", {S("S08"), S("Ada")},
+                               P("course[cno=\"CS240\"]/takenBy"));
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  UpdateBatch batch;
+  batch.Delete(P("//student[ssn=\"S02\"]"));
+  batch.Insert("student", {S("S09"), S("Bob")},
+               P("course[cno=\"CS240\"]/takenBy"));
+  Status bst = sys->ApplyBatch(batch);
+  EXPECT_TRUE(bst.ok()) << bst.ToString();
+}
+
+// ----------------------------------------- branch-and-bound cover deadlines
+
+/// All edge-view rows of the registrar sample under one parent — a small
+/// but feasible minimal-deletion instance.
+std::vector<ViewRowOp> SampleDeletions(const UpdateSystem& sys) {
+  std::vector<ViewRowOp> dv;
+  for (const std::string& vn : sys.store().EdgeViewNames()) {
+    const Table* vt = sys.store().db().GetTable(vn);
+    if (vt == nullptr) continue;
+    vt->ForEach([&](const Tuple& row) {
+      if (dv.size() < 3) dv.push_back(ViewRowOp{vn, row});
+    });
+    if (!dv.empty()) break;
+  }
+  EXPECT_FALSE(dv.empty());
+  return dv;
+}
+
+TEST(DeadlineDegradation, MinimalDeletionExpiredDeadlineRejectsOnEntry) {
+  auto sys = MakeSystem();
+  std::vector<ViewRowOp> dv = SampleDeletions(*sys);
+  for (double budget : {0.0, -5.0}) {
+    MinimalDeleteOptions opts;
+    opts.deadline = Deadline::After(budget);
+    auto r = TranslateMinimalDeletion(sys->store(), sys->database(), dv,
+                                      opts);
+    ASSERT_FALSE(r.ok()) << "budget " << budget;
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+        << r.status().ToString();
+  }
+}
+
+TEST(DeadlineDegradation, MinimalDeletionFarFutureMatchesInfinite) {
+  auto sys = MakeSystem();
+  std::vector<ViewRowOp> dv = SampleDeletions(*sys);
+  MinimalDeleteOptions unbounded;  // default: infinite deadline
+  MinimalDeleteOptions far;
+  far.deadline = Deadline::After(3600);
+  auto a = TranslateMinimalDeletion(sys->store(), sys->database(), dv,
+                                    unbounded);
+  auto b = TranslateMinimalDeletion(sys->store(), sys->database(), dv, far);
+  ASSERT_EQ(a.ok(), b.ok());
+  if (!a.ok()) {
+    EXPECT_TRUE(a.status().IsRejected()) << a.status().ToString();
+    EXPECT_EQ(a.status().code(), b.status().code());
+    return;
+  }
+  // A budget that never expires must not change the solver's answer.
+  ASSERT_EQ(a->ops.size(), b->ops.size());
+  for (size_t i = 0; i < a->ops.size(); ++i) {
+    EXPECT_EQ(a->ops[i].table, b->ops[i].table);
+    EXPECT_TRUE(a->ops[i].row == b->ops[i].row);
+  }
+}
+
 // ------------------------------------------------------- solver deadlines
 
 Cnf HardRandomCnf(int nv, int nc, uint64_t seed) {
@@ -248,6 +322,27 @@ TEST(DeadlineDegradation, PortfolioDeadlineCapsEveryLane) {
   SatResult res = SolvePortfolio(cnf, opts, &stats);
   // Every lane polls the deadline and gives up; no lane may loop forever.
   EXPECT_EQ(res.kind, SatResult::Kind::kUnknown);
+}
+
+TEST(DeadlineDegradation, PortfolioZeroBudgetExpiresAndFarFutureDoesNot) {
+  Cnf cnf = HardRandomCnf(60, 200, 11);
+  PortfolioOptions opts;
+  opts.deterministic = true;
+
+  // After(0) is already expired — same give-up path as a negative budget.
+  opts.deadline = Deadline::After(0);
+  SatResult expired = SolvePortfolio(cnf, opts);
+  EXPECT_EQ(expired.kind, SatResult::Kind::kUnknown);
+
+  // A far-future budget must be indistinguishable from no deadline in
+  // deterministic mode.
+  PortfolioOptions no_deadline;
+  no_deadline.deterministic = true;
+  SatResult unbounded = SolvePortfolio(cnf, no_deadline);
+  opts.deadline = Deadline::After(3600);
+  SatResult far = SolvePortfolio(cnf, opts);
+  EXPECT_EQ(far.kind, unbounded.kind);
+  EXPECT_EQ(far.model, unbounded.model);
 }
 
 }  // namespace

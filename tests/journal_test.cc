@@ -44,6 +44,61 @@ TEST(DagJournal, BoundedCapacityEvictsOldestAndUncovers) {
   EXPECT_FALSE(j.Covers(0));
 }
 
+TEST(DagJournal, RetainFloorProtectsPinnedWindowFromEviction) {
+  DagJournal j(3);
+  j.SetRetainFloor(1);  // an MVCC reader pinned epoch 1
+  for (uint64_t v = 1; v <= 6; ++v) {
+    DagDelta d;
+    d.kind = DagDelta::Kind::kNodeAdded;
+    d.version = v;
+    j.Append(d);
+  }
+  // Capacity is 3, but versions 2..6 are all > floor and protected; only
+  // version 1 itself (the epoch the reader replays FROM) was evictable.
+  EXPECT_EQ(j.size(), 5u);
+  EXPECT_TRUE(j.Covers(1));
+
+  // Publishing a newer floor (the pin moved / was released) re-exposes
+  // the old entries: the next Append trims back to capacity.
+  j.SetRetainFloor(6);
+  DagDelta d;
+  d.kind = DagDelta::Kind::kNodeAdded;
+  d.version = 7;
+  j.Append(d);
+  EXPECT_EQ(j.size(), 3u);  // versions 5, 6, 7
+  EXPECT_TRUE(j.Covers(4));
+  EXPECT_FALSE(j.Covers(1));
+}
+
+TEST(DagJournal, RetainFloorHardCapEvictsRegardless) {
+  DagJournal j(2);
+  j.SetRetainFloor(0);  // protect everything...
+  uint64_t v = 0;
+  for (int i = 0; i < 20; ++i) {
+    DagDelta d;
+    d.kind = DagDelta::Kind::kNodeAdded;
+    d.version = ++v;
+    j.Append(d);
+  }
+  // ...but growth is bounded: at kRetainFloorMaxFactor x capacity the
+  // oldest entry goes anyway, and the stale reader degrades through the
+  // usual Covers() check.
+  EXPECT_EQ(j.size(), DagJournal::kRetainFloorMaxFactor * 2);
+  EXPECT_FALSE(j.Covers(0));
+}
+
+TEST(DagJournal, DefaultFloorProtectsNothing) {
+  DagJournal j(3);
+  EXPECT_EQ(j.retain_floor(), static_cast<uint64_t>(-1));
+  for (uint64_t v = 1; v <= 10; ++v) {
+    DagDelta d;
+    d.kind = DagDelta::Kind::kNodeAdded;
+    d.version = v;
+    j.Append(d);
+  }
+  EXPECT_EQ(j.size(), 3u);  // plain capacity eviction
+}
+
 TEST(DagViewJournal, RecordsEveryMutationWithConsecutiveVersions) {
   DagView dag;
   NodeId r = dag.GetOrAddNode("r", {});

@@ -325,7 +325,7 @@ TEST(DeltaEvalFuzz, PatchedCacheEntriesMatchFreshEvaluation) {
   }
 }
 
-TEST(DeltaEval, RefusesNonMonotoneWindowsAndPaths) {
+TEST(DeltaEval, GeneralPatcherCoversRemovalWindowsAndNegation) {
   auto sys = MakeSystem(MaintenanceStrategy::kAuto);
   XPathEvaluator evaluator(&sys->dag(), &sys->topo(), &sys->reachability());
   uint64_t v0 = sys->dag().version();
@@ -333,13 +333,20 @@ TEST(DeltaEval, RefusesNonMonotoneWindowsAndPaths) {
   ASSERT_TRUE(traced.ok());
   CachedEval entry = std::move(*traced);
 
-  // Deletion window: not patchable.
+  // Deletion window: the exact general patcher subtracts the removed
+  // cone, matching a fresh evaluation bit-for-bit (as node sets).
   ASSERT_TRUE(sys->ApplyDelete(P("//student[ssn=\"S03\"]")).ok());
   std::vector<DagDelta> window = sys->dag().JournalSince(v0);
-  EXPECT_FALSE(TryPatchEval(sys->dag(), sys->topo(), sys->reachability(),
-                            window, &entry));
+  XPathEvaluator after_del(&sys->dag(), &sys->topo(), &sys->reachability());
+  EXPECT_TRUE(TryPatchEval(sys->dag(), sys->topo(), sys->reachability(),
+                           window, &entry));
+  auto fresh = after_del.EvaluateTraced(P("//student"));
+  ASSERT_TRUE(fresh.ok());
+  ExpectSameEval(entry.result, fresh->result, "deletion window");
 
-  // Negated filter: not monotone, not patchable even for additions.
+  // Negated filter: not monotone, so even an addition-only window takes
+  // the general patcher — whose per-node filter evaluation is exact, so
+  // members flip in both directions correctly.
   uint64_t v1 = sys->dag().version();
   XPathEvaluator ev2(&sys->dag(), &sys->topo(), &sys->reachability());
   auto neg = ev2.EvaluateTraced(P("//course[not(takenBy)]"));
@@ -349,8 +356,97 @@ TEST(DeltaEval, RefusesNonMonotoneWindowsAndPaths) {
   ASSERT_TRUE(sys->ApplyInsert("student", {S("S90"), S("Neg")},
                                P("//course[cno=\"CS650\"]/takenBy"))
                   .ok());
+  XPathEvaluator ev3(&sys->dag(), &sys->topo(), &sys->reachability());
+  EXPECT_TRUE(TryPatchEval(sys->dag(), sys->topo(), sys->reachability(),
+                           sys->dag().JournalSince(v1), &neg_entry));
+  auto neg_fresh = ev3.EvaluateTraced(P("//course[not(takenBy)]"));
+  ASSERT_TRUE(neg_fresh.ok());
+  ExpectSameEval(neg_entry.result, neg_fresh->result, "negated filter");
+
+  // Still refused: a traceless entry, and an oversized window.
+  CachedEval no_trace;
+  no_trace.np = neg_entry.np;
   EXPECT_FALSE(TryPatchEval(sys->dag(), sys->topo(), sys->reachability(),
-                            sys->dag().JournalSince(v1), &neg_entry));
+                            sys->dag().JournalSince(v1), &no_trace));
+}
+
+TEST(DeltaEvalFuzz, PatchedEntriesMatchFreshEvaluationAcrossDeletions) {
+  // Satellite of the removal-window patcher: randomized mixed
+  // insert/delete batches, every pool path (including a non-monotone
+  // one) patched across each window and compared against a fresh
+  // evaluation — patched == fresh, always.
+  const std::vector<std::string> kPaths = {
+      "//student",
+      "//student[ssn=\"S01\"]",
+      "//course[cno=\"CS320\"]/takenBy/student",
+      "course/takenBy/student",
+      "//takenBy/student",
+      "course[cno=\"CS650\"]/prereq//student",
+      "//course[prereq/course[cno=\"CS140\"]]/takenBy",
+      "//course[not(takenBy)]",
+      "//course[takenBy/student]/prereq",
+  };
+  auto sys = MakeSystem(MaintenanceStrategy::kAuto);
+  const char* kCnos[] = {"CS650", "CS320", "CS240", "CS140"};
+  Rng rng(1234);
+  int64_t uid = 7000;
+  std::vector<std::string> alive;  // ssns inserted and not yet deleted
+
+  for (int round = 0; round < 16; ++round) {
+    XPathEvaluator evaluator(&sys->dag(), &sys->topo(), &sys->reachability());
+    uint64_t v0 = sys->dag().version();
+    std::vector<CachedEval> cached;
+    for (const std::string& xp : kPaths) {
+      auto traced = evaluator.EvaluateTraced(P(xp));
+      ASSERT_TRUE(traced.ok()) << xp;
+      cached.push_back(std::move(*traced));
+    }
+
+    // Mixed batch: some fresh inserts, some deletions of earlier
+    // inserts (distinct targets — double-deletes are batch conflicts).
+    UpdateBatch batch;
+    // Deletions target only students present BEFORE this batch (an op's
+    // path evaluates against the snapshot, so a same-batch insert is not
+    // selectable yet).
+    size_t deletes = round == 0 ? 0 : 1 + rng.Below(2);
+    for (size_t k = 0; k < deletes && !alive.empty(); ++k) {
+      size_t pick = rng.Below(alive.size());
+      batch.Delete(P("//student[ssn=\"" + alive[pick] + "\"]"));
+      alive.erase(alive.begin() + static_cast<ptrdiff_t>(pick));
+    }
+    size_t inserts = 1 + rng.Below(3);
+    for (size_t k = 0; k < inserts; ++k) {
+      std::string ssn = "S" + std::to_string(uid++);
+      const char* cno = kCnos[rng.Below(4)];
+      batch.Insert("student", {S(ssn.c_str()), S("Churn")},
+                   P(std::string("//course[cno=\"") + cno + "\"]/takenBy"));
+      alive.push_back(ssn);
+    }
+    ASSERT_TRUE(sys->ApplyBatch(batch).ok());
+
+    ASSERT_TRUE(sys->dag().JournalCovers(v0));
+    std::vector<DagDelta> window = sys->dag().JournalSince(v0);
+    XPathEvaluator fresh_eval(&sys->dag(), &sys->topo(),
+                              &sys->reachability());
+    for (size_t i = 0; i < kPaths.size(); ++i) {
+      std::string ctx =
+          "round " + std::to_string(round) + " path " + kPaths[i];
+      ASSERT_TRUE(TryPatchEval(sys->dag(), sys->topo(), sys->reachability(),
+                               window, &cached[i]))
+          << ctx << ": removal window must be patchable";
+      auto fresh = fresh_eval.EvaluateTraced(P(kPaths[i]));
+      ASSERT_TRUE(fresh.ok()) << ctx;
+      ExpectSameEval(cached[i].result, fresh->result, ctx);
+      ASSERT_EQ(cached[i].reached.size(), fresh->reached.size()) << ctx;
+      for (size_t s = 0; s < cached[i].reached.size(); ++s) {
+        auto pa = cached[i].reached[s].items;
+        auto fb = fresh->reached[s].items;
+        std::sort(pa.begin(), pa.end());
+        std::sort(fb.begin(), fb.end());
+        EXPECT_EQ(pa, fb) << ctx << " step " << s;
+      }
+    }
+  }
 }
 
 }  // namespace

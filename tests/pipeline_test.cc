@@ -198,15 +198,16 @@ TEST(Pipeline, CacheIsDeltaPatchedAcrossDagVersions) {
   EXPECT_EQ(sys->last_stats().xpath_cache_hits, 1u);
 }
 
-TEST(Pipeline, DeletionWindowsFallBackToFreshEvaluation) {
+TEST(Pipeline, DeletionWindowsAreDeltaPatched) {
   auto sys = MakeSystem();
   UpdateBatch b1;
   b1.Insert("student", {S("S07"), S("Grace")},
             P("course[cno=\"CS650\"]/takenBy"));
   ASSERT_TRUE(sys->ApplyBatch(b1).ok());
 
-  // A deletion makes the journal window non-monotone: the cached entry
-  // for the insert path cannot be patched and must re-evaluate.
+  // A deletion makes the journal window non-monotone; the general
+  // patcher subtracts the exact cone instead of re-evaluating, so the
+  // cached entry for the insert path survives the window.
   UpdateBatch b2;
   b2.Delete(P("//student[ssn=\"S03\"]"));
   ASSERT_TRUE(sys->ApplyBatch(b2).ok());
@@ -215,10 +216,54 @@ TEST(Pipeline, DeletionWindowsFallBackToFreshEvaluation) {
   b3.Insert("student", {S("S09"), S("Barbara")},
             P("course[cno=\"CS650\"]/takenBy"));
   ASSERT_TRUE(sys->ApplyBatch(b3).ok());
-  EXPECT_EQ(sys->last_stats().xpath_evaluations, 1u);
-  EXPECT_EQ(sys->last_stats().delta_patches, 0u);
-  EXPECT_EQ(sys->last_stats().fallback_evals, 1u);
+  EXPECT_EQ(sys->last_stats().xpath_evaluations, 0u);
+  EXPECT_EQ(sys->last_stats().delta_patches, 1u);
+  EXPECT_EQ(sys->last_stats().fallback_evals, 0u);
   ExpectConsistent(*sys);
+}
+
+TEST(Pipeline, SnapshotVersionTracksTheReadEpochInvariant) {
+  // UpdateStats::snapshot_version is the pre-write dag version the batch
+  // evaluated against. After a committed write the maintenance cursor,
+  // the dag version, and the published read epoch all coincide — and sit
+  // strictly past the recorded snapshot_version.
+  auto sys = MakeSystem();
+  for (int i = 0; i < 3; ++i) {
+    const uint64_t pre = sys->dag().version();
+    UpdateBatch batch;
+    batch.Insert("student", {S(("S8" + std::to_string(i)).c_str()), S("V")},
+                 P("course[cno=\"CS650\"]/takenBy"));
+    if (i > 0) batch.Delete(P("//student[ssn=\"S8" + std::to_string(i - 1) +
+                              "\"]"));
+    ASSERT_TRUE(sys->ApplyBatch(batch).ok());
+
+    EXPECT_EQ(sys->last_stats().snapshot_version, pre);
+    EXPECT_EQ(sys->maintenance_engine().maintained_version(),
+              sys->dag().version());
+    EXPECT_EQ(sys->read_epoch(), sys->dag().version());
+    EXPECT_GT(sys->dag().version(), sys->last_stats().snapshot_version);
+  }
+
+  // The per-op entry points record the same invariant.
+  const uint64_t pre_op = sys->dag().version();
+  ASSERT_TRUE(sys->ApplyInsert("student", {S("S99"), S("Op")},
+                               P("course[cno=\"CS240\"]/takenBy"))
+                  .ok());
+  EXPECT_EQ(sys->last_stats().snapshot_version, pre_op);
+  EXPECT_EQ(sys->read_epoch(), sys->dag().version());
+  EXPECT_GT(sys->read_epoch(), pre_op);
+
+  // A rejected batch rewinds: version, cursor and epoch all return to
+  // the recorded snapshot_version.
+  const uint64_t pre_bad = sys->dag().version();
+  UpdateBatch bad;
+  bad.Delete(P("//student[ssn=\"S99\"]"));
+  bad.Delete(P("//student[ssn=\"S99\"]"));
+  ASSERT_FALSE(sys->ApplyBatch(bad).ok());
+  EXPECT_EQ(sys->last_stats().snapshot_version, pre_bad);
+  EXPECT_EQ(sys->dag().version(), pre_bad);
+  EXPECT_EQ(sys->read_epoch(), pre_bad);
+  EXPECT_EQ(sys->maintenance_engine().maintained_version(), pre_bad);
 }
 
 TEST(Pipeline, RejectsDoubleDeleteOfSameEdge) {

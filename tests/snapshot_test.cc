@@ -1,0 +1,291 @@
+// MVCC snapshot reads (docs/architecture.md §MVCC snapshots): pinned
+// epochs, immutable shared state, cache carry-forward across epochs, and
+// the writer-side retention contract (∆V journal retain floor follows the
+// oldest pinned epoch).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/core/snapshot.h"
+#include "src/core/system.h"
+#include "src/workload/registrar.h"
+#include "src/xpath/parser.h"
+
+namespace xvu {
+namespace {
+
+Value S(const char* s) { return Value::Str(s); }
+
+Path P(const std::string& xpath) {
+  auto p = ParseXPath(xpath);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return *p;
+}
+
+std::unique_ptr<UpdateSystem> MakeSystem() {
+  auto db = MakeRegistrarDatabase();
+  EXPECT_TRUE(db.ok());
+  EXPECT_TRUE(LoadRegistrarSample(&*db).ok());
+  auto atg = MakeRegistrarAtg(*db);
+  EXPECT_TRUE(atg.ok());
+  auto sys = UpdateSystem::Create(std::move(*atg), std::move(*db));
+  EXPECT_TRUE(sys.ok()) << sys.status().ToString();
+  return std::move(*sys);
+}
+
+std::vector<NodeId> Sorted(std::vector<NodeId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+/// Canonical order-independent fingerprint of an evaluation, for
+/// comparing reads across threads and epochs.
+std::string Fingerprint(const EvalResult& r) {
+  std::string out;
+  for (NodeId n : Sorted(r.selected)) out += std::to_string(n) + ",";
+  out += "|";
+  auto edges = r.parent_edges;
+  std::sort(edges.begin(), edges.end());
+  for (const auto& [u, v] : edges) {
+    out += std::to_string(u) + ">" + std::to_string(v) + ",";
+  }
+  out += "|";
+  for (NodeId n : Sorted(r.side_effect_nodes)) out += std::to_string(n) + ",";
+  return out;
+}
+
+TEST(Snapshot, AcquireSeesCurrentEpochAndMatchesLiveQuery) {
+  auto sys = MakeSystem();
+  Snapshot snap = sys->AcquireSnapshot();
+  EXPECT_EQ(snap.epoch(), sys->dag().version());
+  EXPECT_EQ(snap.epoch(), sys->read_epoch());
+  EXPECT_EQ(sys->epoch_registry().live(), 1u);
+
+  for (const char* xp : {"//student", "//course[cno=\"CS320\"]/takenBy",
+                         "course/takenBy/student"}) {
+    auto live = sys->Query(xp);
+    auto pinned = snap.Eval(xp);
+    ASSERT_TRUE(live.ok()) << xp;
+    ASSERT_TRUE(pinned.ok()) << xp;
+    EXPECT_EQ(Fingerprint(*pinned), Fingerprint(*live)) << xp;
+  }
+
+  // Two handles of the same epoch share one state; both pin it.
+  Snapshot again = sys->AcquireSnapshot();
+  EXPECT_EQ(again.epoch(), snap.epoch());
+  EXPECT_EQ(sys->epoch_registry().live(), 2u);
+}
+
+TEST(Snapshot, PinnedEpochIsImmuneToLaterWrites) {
+  auto sys = MakeSystem();
+  Snapshot old_snap = sys->AcquireSnapshot();
+  auto before = old_snap.Eval("//student");
+  ASSERT_TRUE(before.ok());
+  const std::string baseline = Fingerprint(*before);
+  const uint64_t old_epoch = old_snap.epoch();
+
+  // A committed insert and a committed delete move the live view...
+  ASSERT_TRUE(sys->ApplyInsert("student", {S("S70"), S("Mvcc")},
+                               P("//course[cno=\"CS320\"]/takenBy"))
+                  .ok());
+  ASSERT_TRUE(sys->ApplyDelete(P("//student[ssn=\"S03\"]")).ok());
+  EXPECT_GT(sys->read_epoch(), old_epoch);
+
+  // ...but the pinned epoch still reads its original version.
+  auto after = old_snap.Eval("//student");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(Fingerprint(*after), baseline);
+  EXPECT_EQ(old_snap.epoch(), old_epoch);
+
+  // A fresh snapshot sees the new epoch and the new data.
+  Snapshot new_snap = sys->AcquireSnapshot();
+  EXPECT_EQ(new_snap.epoch(), sys->read_epoch());
+  auto fresh = new_snap.Eval("//student");
+  auto live = sys->Query("//student");
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(Fingerprint(*fresh), Fingerprint(*live));
+  EXPECT_NE(Fingerprint(*fresh), baseline);
+}
+
+TEST(Snapshot, HandleOutlivesTheSystem) {
+  auto sys = MakeSystem();
+  Snapshot snap = sys->AcquireSnapshot();
+  auto expect = sys->Query("//student");
+  ASSERT_TRUE(expect.ok());
+  const std::string baseline = Fingerprint(*expect);
+  sys.reset();  // the issuing system is gone
+
+  auto r = snap.Eval("//student");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Fingerprint(*r), baseline);
+}
+
+TEST(Snapshot, EvalMemoCarriesForwardAcrossEpochsByJournalPatching) {
+  auto sys = MakeSystem();
+  {
+    Snapshot snap = sys->AcquireSnapshot();
+    ASSERT_TRUE(snap.Eval("//student").ok());
+    ASSERT_TRUE(snap.Eval("//course[cno=\"CS320\"]/takenBy").ok());
+    EXPECT_EQ(snap.eval_cache().stats().misses, 2u);
+    // Second eval of the same path is a shared-memo hit.
+    ASSERT_TRUE(snap.Eval("//student").ok());
+    EXPECT_EQ(snap.eval_cache().stats().hits, 1u);
+  }
+
+  // Insert epoch transition: the next snapshot's cache adopts the
+  // previous epoch's entries by ∆V patching instead of starting cold.
+  ASSERT_TRUE(sys->ApplyInsert("student", {S("S71"), S("Adopt")},
+                               P("//course[cno=\"CS320\"]/takenBy"))
+                  .ok());
+  Snapshot snap2 = sys->AcquireSnapshot();
+  EXPECT_EQ(snap2.eval_cache().stats().delta_patches, 2u);
+  auto r = snap2.Eval("//student");
+  auto live = sys->Query("//student");
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(Fingerprint(*r), Fingerprint(*live));
+  // Served from the adopted entry, not re-evaluated.
+  EXPECT_EQ(snap2.eval_cache().stats().hits, 1u);
+  EXPECT_EQ(snap2.eval_cache().stats().misses, 0u);
+
+  // Deletion epoch transition: removal windows are patchable too (the
+  // general patcher), so the memo survives a delete batch as well.
+  ASSERT_TRUE(sys->ApplyDelete(P("//student[ssn=\"S02\"]")).ok());
+  Snapshot snap3 = sys->AcquireSnapshot();
+  EXPECT_GT(snap3.eval_cache().stats().delta_patches, 0u);
+  auto r3 = snap3.Eval("//student");
+  auto live3 = sys->Query("//student");
+  ASSERT_TRUE(r3.ok());
+  ASSERT_TRUE(live3.ok());
+  EXPECT_EQ(Fingerprint(*r3), Fingerprint(*live3));
+  EXPECT_EQ(snap3.eval_cache().stats().misses, 0u);
+}
+
+TEST(Snapshot, JournalRetainFloorFollowsOldestPinnedEpoch) {
+  auto sys = MakeSystem();
+  auto write = [&](int i) {
+    ASSERT_TRUE(sys->ApplyInsert(
+                        "student",
+                        {S(("S8" + std::to_string(i)).c_str()), S("Floor")},
+                        P("//course[cno=\"CS240\"]/takenBy"))
+                    .ok());
+  };
+
+  uint64_t pinned_epoch = 0;
+  {
+    Snapshot pinned = sys->AcquireSnapshot();
+    pinned_epoch = pinned.epoch();
+    for (int i = 0; i < 4; ++i) write(i);
+    // The pinned epoch's window must stay replayable while it is live.
+    EXPECT_LE(sys->dag().journal_retain_floor(), pinned_epoch);
+    EXPECT_TRUE(sys->dag().JournalCovers(pinned_epoch));
+  }
+  // Handle dropped, but the cached published state still anchors the
+  // floor at its epoch — the next snapshot's cache carry-forward needs
+  // that window.
+  write(4);
+  EXPECT_EQ(sys->epoch_registry().live(), 0u);
+  EXPECT_EQ(sys->dag().journal_retain_floor(), pinned_epoch);
+  // Acquiring at the new epoch rebuilds the published state and releases
+  // the old window: the floor catches up to the current version.
+  Snapshot fresh = sys->AcquireSnapshot();
+  EXPECT_EQ(sys->dag().journal_retain_floor(), sys->dag().version());
+}
+
+TEST(Snapshot, RejectedBatchLeavesPinnedSnapshotAndEpochIntact) {
+  // Satellite: RollbackScope vs concurrent readers. A rejected batch
+  // rewinds the live state; a reader evaluating on a pinned snapshot
+  // throughout must never observe anything but its epoch's data.
+  auto sys = MakeSystem();
+  Snapshot pinned = sys->AcquireSnapshot();
+  const uint64_t epoch = pinned.epoch();
+  auto before = pinned.Eval("//student");
+  ASSERT_TRUE(before.ok());
+  const std::string baseline = Fingerprint(*before);
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> reads{0};
+  std::atomic<bool> mismatch{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      auto r = pinned.Eval("//student");
+      if (!r.ok() || Fingerprint(*r) != baseline) {
+        mismatch.store(true, std::memory_order_release);
+      }
+      reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // Double-delete of the same target is an intra-batch conflict: the
+  // batch is rejected and every mutation rolled back (RollbackScope on
+  // the live cache, RewindTo on the live DAG).
+  for (int i = 0; i < 8; ++i) {
+    const uint64_t pre = sys->read_epoch();
+    UpdateBatch bad;
+    bad.Delete(P("//student[ssn=\"S01\"]"));
+    bad.Delete(P("//student[ssn=\"S01\"]"));
+    EXPECT_FALSE(sys->ApplyBatch(bad).ok());
+    EXPECT_EQ(sys->read_epoch(), pre) << "rejection must not move epoch";
+    // An interleaved committed write does move it...
+    UpdateBatch good;
+    good.Insert("student", {S(("S9" + std::to_string(i)).c_str()), S("Ok")},
+                P("//course[cno=\"CS650\"]/takenBy"));
+    ASSERT_TRUE(sys->ApplyBatch(good).ok());
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_GT(reads.load(), 0u);
+  auto after = pinned.Eval("//student");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(Fingerprint(*after), baseline);
+  EXPECT_GT(sys->read_epoch(), epoch);
+}
+
+TEST(EpochRegistry, PinCountsAndMinPinnedEpoch) {
+  EpochRegistry reg;
+  EXPECT_EQ(reg.live(), 0u);
+  EXPECT_EQ(reg.MinPinnedOr(42), 42u);
+  reg.Pin(7);
+  reg.Pin(7);
+  reg.Pin(5);
+  EXPECT_EQ(reg.live(), 3u);
+  EXPECT_EQ(reg.MinPinnedOr(42), 5u);
+  reg.Unpin(5);
+  EXPECT_EQ(reg.MinPinnedOr(42), 7u);
+  reg.Unpin(7);
+  EXPECT_EQ(reg.live(), 1u);
+  EXPECT_EQ(reg.MinPinnedOr(42), 7u);
+  reg.Unpin(7);
+  EXPECT_EQ(reg.live(), 0u);
+  EXPECT_EQ(reg.MinPinnedOr(42), 42u);
+}
+
+TEST(EpochRegistry, MoveTransfersThePinExactlyOnce) {
+  auto sys = MakeSystem();
+  {
+    Snapshot a = sys->AcquireSnapshot();
+    EXPECT_EQ(sys->epoch_registry().live(), 1u);
+    Snapshot b = std::move(a);  // move ctor: still one pin
+    EXPECT_EQ(sys->epoch_registry().live(), 1u);
+    Snapshot c = sys->AcquireSnapshot();
+    EXPECT_EQ(sys->epoch_registry().live(), 2u);
+    c = std::move(b);  // move assign releases c's pin, takes b's
+    EXPECT_EQ(sys->epoch_registry().live(), 1u);
+    auto r = c.Eval("//student");
+    EXPECT_TRUE(r.ok());
+  }
+  EXPECT_EQ(sys->epoch_registry().live(), 0u);
+}
+
+}  // namespace
+}  // namespace xvu
