@@ -8,12 +8,14 @@
 // while CDCL's clause learning keeps it polynomial-ish — and WalkSAT
 // degrades gracefully on the satisfiable side. The end-to-end rows
 // surface the SAT counters (propagations, conflicts, learned clauses,
-// flips, winner lane) now recorded in UpdateStats.
+// flips, runs) as deltas of the registry's xvu.sat.* counters — the
+// same numbers a runtime metrics dump reports.
 
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
 #include "src/common/rng.h"
+#include "src/obs/metrics.h"
 #include "src/sat/cdcl.h"
 #include "src/sat/dpll.h"
 #include "src/sat/portfolio.h"
@@ -131,18 +133,20 @@ void BM_BuddyInsertTranslation(benchmark::State& state,
   int64_t fresh_g = 10000000;
   int64_t parent = 1;
   size_t accepted = 0, total = 0;
-  double props = 0, conflicts = 0, learned = 0, flips = 0, sat_s = 0;
+  double sat_s = 0;
+  // Solver counters come from the registry, not UpdateStats: snapshot
+  // before, report the delta after.
+  const uint64_t props0 = RegistryCounter("xvu.sat.propagations");
+  const uint64_t conflicts0 = RegistryCounter("xvu.sat.conflicts");
+  const uint64_t learned0 = RegistryCounter("xvu.sat.learned_clauses");
+  const uint64_t flips0 = RegistryCounter("xvu.sat.flips");
+  const uint64_t runs0 = RegistryCounter("xvu.sat.runs");
   for (auto _ : state) {
     std::string stmt = "insert B(" + std::to_string(++fresh_g) +
                        ") into //C[cid=\"" + std::to_string(++parent) +
                        "\"]/buddies";
     Status st = (*sys)->ApplyStatement(stmt);
-    const UpdateStats& us = (*sys)->last_stats();
-    props += static_cast<double>(us.sat_propagations);
-    conflicts += static_cast<double>(us.sat_conflicts);
-    learned += static_cast<double>(us.sat_learned_clauses);
-    flips += static_cast<double>(us.sat_flips);
-    sat_s += us.sat_seconds;
+    sat_s += (*sys)->last_stats().sat_seconds;
     if (st.ok()) ++accepted;
     ++total;
     if (parent > 1900) parent = 1;
@@ -150,10 +154,16 @@ void BM_BuddyInsertTranslation(benchmark::State& state,
   state.counters["accept_frac"] =
       total == 0 ? 0
                  : static_cast<double>(accepted) / static_cast<double>(total);
-  state.counters["sat_propagations"] = props;
-  state.counters["sat_conflicts"] = conflicts;
-  state.counters["sat_learned"] = learned;
-  state.counters["sat_flips"] = flips;
+  state.counters["sat_propagations"] =
+      static_cast<double>(RegistryCounter("xvu.sat.propagations") - props0);
+  state.counters["sat_conflicts"] =
+      static_cast<double>(RegistryCounter("xvu.sat.conflicts") - conflicts0);
+  state.counters["sat_learned"] =
+      static_cast<double>(RegistryCounter("xvu.sat.learned_clauses") - learned0);
+  state.counters["sat_flips"] =
+      static_cast<double>(RegistryCounter("xvu.sat.flips") - flips0);
+  state.counters["sat_runs"] =
+      static_cast<double>(RegistryCounter("xvu.sat.runs") - runs0);
   state.counters["sat_ms"] = sat_s * 1e3;
 }
 

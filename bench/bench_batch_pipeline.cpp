@@ -31,6 +31,7 @@
 #include "bench/bench_util.h"
 #include "src/common/failpoint.h"
 #include "src/core/pipeline.h"
+#include "src/obs/obs.h"
 
 namespace xvu {
 namespace bench {
@@ -305,6 +306,89 @@ int Run() {
   check(checks_per_batch > 0, "the batch crosses at least one site");
   check(overhead_pct < 2.0,
         "disabled fail-point checks cost < 2% of a batch");
+
+  // (f) Observability overhead guard, the same shape as (e) for the
+  // XVU_OBS_* and TraceSpan sites: run one batch with metrics AND
+  // tracing live to count how many recordings it makes (registry
+  // snapshot delta plus trace events — counter value deltas over-count
+  // crossings that fold a whole SatStats in one Add, so the product is
+  // an upper bound and the gate conservative), measure the disabled
+  // per-site cost (one relaxed load plus a not-taken branch), and
+  // require the product to stay under 2% of the median batch.
+  UpdateBatch batch5;
+  for (size_t i = 0; i < num_ops; ++i) {
+    int64_t id = 90000000 + static_cast<int64_t>(i);
+    std::string s = "insert C(" + std::to_string(id) + ", " +
+                    std::to_string(id % 100) + ") into " + path;
+    if (!batch5.Add(s, ser->atg()).ok()) return 1;
+  }
+  obs::SetTracingEnabled(true);
+  obs::TraceClear();
+  std::vector<obs::MetricSnapshot> before =
+      obs::MetricsRegistry::Instance().SnapshotAll();
+  st = ser->ApplyBatch(batch5);
+  std::vector<obs::MetricSnapshot> after =
+      obs::MetricsRegistry::Instance().SnapshotAll();
+  size_t trace_events = obs::TraceEventCount();
+  obs::SetTracingEnabled(false);
+  obs::TraceClear();
+  if (!st.ok()) {
+    std::fprintf(stderr, "obs-counting batch failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  uint64_t recordings = 0;
+  {
+    // SnapshotAll is sorted by name; `after` is a superset of `before`.
+    size_t b = 0;
+    for (const obs::MetricSnapshot& m : after) {
+      uint64_t prev_counter = 0, prev_hist = 0;
+      int64_t prev_gauge = 0;
+      while (b < before.size() && before[b].name < m.name) ++b;
+      if (b < before.size() && before[b].name == m.name) {
+        prev_counter = before[b].counter;
+        prev_hist = before[b].histogram.count;
+        prev_gauge = before[b].gauge;
+      }
+      switch (m.kind) {
+        case obs::MetricSnapshot::Kind::kCounter:
+          recordings += m.counter - prev_counter;
+          break;
+        case obs::MetricSnapshot::Kind::kHistogram:
+          recordings += m.histogram.count - prev_hist;
+          break;
+        case obs::MetricSnapshot::Kind::kGauge:
+          recordings += m.gauge != prev_gauge ? 1 : 0;
+          break;
+      }
+    }
+    recordings += trace_events;
+  }
+
+  obs::SetMetricsEnabled(false);
+  size_t live_sites = 0;
+  t0 = Clock::now();
+  for (size_t i = 0; i < kProbes; ++i) {
+    // The disabled fast path of every XVU_OBS_* site and TraceSpan:
+    // one relaxed atomic load plus a not-taken branch.
+    live_sites += obs::MetricsEnabled() ? 1 : 0;
+  }
+  double per_site_seconds = SecondsSince(t0) / kProbes;
+  obs::SetMetricsEnabled(true);
+  double obs_overhead_seconds =
+      per_site_seconds * static_cast<double>(recordings);
+  double obs_overhead_pct =
+      ser_times[1] > 0 ? 100.0 * obs_overhead_seconds / ser_times[1] : 0.0;
+  std::printf("  obs:        %llu recordings/batch (%zu trace events) x "
+              "%.2f ns = %.3f us (%.4f%% of median batch, budget 2%%)\n",
+              static_cast<unsigned long long>(recordings), trace_events,
+              per_site_seconds * 1e9, obs_overhead_seconds * 1e6,
+              obs_overhead_pct);
+  check(live_sites == 0, "disabled obs site never records");
+  check(recordings > 0, "the batch crosses at least one obs site");
+  check(trace_events > 0, "tracing captures span events during the batch");
+  check(obs_overhead_pct < 2.0,
+        "disabled obs sites cost < 2% of a batch");
   return failures == 0 ? 0 : 1;
 }
 

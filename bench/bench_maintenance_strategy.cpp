@@ -12,10 +12,16 @@
 // the smallest N where the merge stops winning — is reported per |C|.
 //
 // Emits BENCH_maintenance.json (override the path with XVU_BENCH_JSON)
-// with one row per (|C|, N) configuration.
+// with one row per (|C|, N) configuration. Each configuration applies
+// XVU_BENCH_STRATEGY_REPEATS (default 3) independent batches with fresh
+// node ids; the row's maintain times are the exact medians across the
+// repeats, with p50/p95/p99 tails resolved through obs::Histogram
+// (schema-additive fields, see docs/benchmarks.md).
 //
-// Knobs: XVU_BENCH_MAX_C (default 50000), XVU_BENCH_STRATEGY_MIN_SPEEDUP.
+// Knobs: XVU_BENCH_MAX_C (default 50000), XVU_BENCH_STRATEGY_MIN_SPEEDUP,
+// XVU_BENCH_STRATEGY_REPEATS.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -27,11 +33,28 @@ namespace xvu {
 namespace bench {
 namespace {
 
+struct Tails {
+  double p50_s = 0, p95_s = 0, p99_s = 0;
+};
+
+Tails TailsOf(const obs::Histogram& h) {
+  const obs::HistogramSnapshot s = h.Snapshot();
+  return Tails{static_cast<double>(s.P50()) * 1e-9,
+               static_cast<double>(s.P95()) * 1e-9,
+               static_cast<double>(s.P99()) * 1e-9};
+}
+
+double MedianOf(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0.0 : v[v.size() / 2];
+}
+
 struct Row {
   size_t c = 0;
   size_t n = 0;
-  double inc_maintain_s = 0;
-  double full_maintain_s = 0;
+  double inc_maintain_s = 0;   ///< median across repeats
+  double full_maintain_s = 0;  ///< median across repeats
+  Tails inc_tails, full_tails;
   size_t journal_entries = 0;
   double speedup = 0;
 };
@@ -41,6 +64,11 @@ int Run() {
   if (const char* env = std::getenv("XVU_BENCH_STRATEGY_MIN_SPEEDUP")) {
     min_speedup = std::atof(env);
   }
+  int repeats = 3;
+  if (const char* env = std::getenv("XVU_BENCH_STRATEGY_REPEATS")) {
+    repeats = std::atoi(env);
+  }
+  if (repeats < 1) repeats = 1;
   const std::vector<size_t> batch_sizes = {1, 5, 10, 50, 200};
   std::vector<Row> rows;
   int failures = 0;
@@ -67,23 +95,34 @@ int Run() {
     int64_t uid = 70000000;
     size_t crossover = 0;  // smallest N where the merge stops winning
     for (size_t batch_n : batch_sizes) {
-      UpdateBatch batch;
-      for (size_t i = 0; i < batch_n; ++i, ++uid) {
-        Status st = batch.Add("insert C(" + std::to_string(uid) + ", " +
-                                  std::to_string(uid % 100) + ") into " +
-                                  path,
-                              inc->atg());
-        if (!st.ok()) {
-          std::fprintf(stderr, "parse failed: %s\n", st.ToString().c_str());
+      // Each repeat applies a fresh batch (new uids), so every run is
+      // real commit-path maintenance; the medians smooth scheduler noise
+      // and the histograms expose the tails.
+      obs::Histogram inc_ns, full_ns;
+      std::vector<double> inc_runs, full_runs;
+      for (int rep = 0; rep < repeats; ++rep) {
+        UpdateBatch batch;
+        for (size_t i = 0; i < batch_n; ++i, ++uid) {
+          Status st = batch.Add("insert C(" + std::to_string(uid) + ", " +
+                                    std::to_string(uid % 100) + ") into " +
+                                    path,
+                                inc->atg());
+          if (!st.ok()) {
+            std::fprintf(stderr, "parse failed: %s\n", st.ToString().c_str());
+            return 1;
+          }
+        }
+        Status inc_st = inc->ApplyBatch(batch);
+        Status full_st = full->ApplyBatch(batch);
+        if (!inc_st.ok() || !full_st.ok()) {
+          std::fprintf(stderr, "batch failed: %s / %s\n",
+                       inc_st.ToString().c_str(), full_st.ToString().c_str());
           return 1;
         }
-      }
-      Status inc_st = inc->ApplyBatch(batch);
-      Status full_st = full->ApplyBatch(batch);
-      if (!inc_st.ok() || !full_st.ok()) {
-        std::fprintf(stderr, "batch failed: %s / %s\n",
-                     inc_st.ToString().c_str(), full_st.ToString().c_str());
-        return 1;
+        inc_runs.push_back(inc->last_stats().maintain_seconds);
+        full_runs.push_back(full->last_stats().maintain_seconds);
+        inc_ns.Record(static_cast<uint64_t>(inc_runs.back() * 1e9));
+        full_ns.Record(static_cast<uint64_t>(full_runs.back() * 1e9));
       }
       const UpdateStats& is = inc->last_stats();
       const UpdateStats& fs = full->last_stats();
@@ -91,11 +130,13 @@ int Run() {
       Row row;
       row.c = n;
       row.n = batch_n;
-      row.inc_maintain_s = is.maintain_seconds;
-      row.full_maintain_s = fs.maintain_seconds;
+      row.inc_maintain_s = MedianOf(inc_runs);
+      row.full_maintain_s = MedianOf(full_runs);
+      row.inc_tails = TailsOf(inc_ns);
+      row.full_tails = TailsOf(full_ns);
       row.journal_entries = is.journal_entries_replayed;
-      row.speedup = is.maintain_seconds > 0
-                        ? fs.maintain_seconds / is.maintain_seconds
+      row.speedup = row.inc_maintain_s > 0
+                        ? row.full_maintain_s / row.inc_maintain_s
                         : 0;
       rows.push_back(row);
       std::printf("  N=%4zu: incremental %8.3f ms (journal %zu), rebuild "
@@ -143,9 +184,15 @@ int Run() {
       std::fprintf(f,
                    "  {\"c\": %zu, \"n\": %zu, \"incremental_maintain_s\": "
                    "%.6f, \"full_rebuild_maintain_s\": %.6f, "
+                   "\"incremental_p50_s\": %.6f, \"incremental_p95_s\": "
+                   "%.6f, \"incremental_p99_s\": %.6f, "
+                   "\"full_rebuild_p50_s\": %.6f, \"full_rebuild_p95_s\": "
+                   "%.6f, \"full_rebuild_p99_s\": %.6f, "
                    "\"journal_entries\": %zu, \"speedup\": %.3f}%s\n",
                    r.c, r.n, r.inc_maintain_s, r.full_maintain_s,
-                   r.journal_entries, r.speedup,
+                   r.inc_tails.p50_s, r.inc_tails.p95_s, r.inc_tails.p99_s,
+                   r.full_tails.p50_s, r.full_tails.p95_s,
+                   r.full_tails.p99_s, r.journal_entries, r.speedup,
                    i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "]\n");

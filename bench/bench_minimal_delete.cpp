@@ -108,13 +108,17 @@ std::vector<SolverRow> RunSolverSweep(double min_speedup) {
     row.nc = static_cast<int>(instances[0].clauses().size());
     row.instances = kInstances;
 
-    // Verdicts from CDCL (the baseline for agreement), plus counters.
+    // Verdicts from CDCL (the baseline for agreement). Counters flow
+    // through the registry: each run is folded in via
+    // RecordSatRunMetrics and the row reports the xvu.sat.* delta — the
+    // same source of truth the runtime metrics export.
+    const uint64_t conflicts0 = RegistryCounter("xvu.sat.conflicts");
+    const uint64_t props0 = RegistryCounter("xvu.sat.propagations");
     std::vector<SatResult> verdicts;
     for (const Cnf& cnf : instances) {
       SatStats st;
       SatResult r = SolveCdcl(cnf, {}, &st);
-      row.conflicts += st.conflicts;
-      row.propagations += st.propagations;
+      RecordSatRunMetrics(st, /*winner_lane=*/-1);
       if (r.kind == SatResult::Kind::kSat) {
         ++row.sat_count;
         Check(cnf.IsSatisfiedBy(r.model),
@@ -122,6 +126,8 @@ std::vector<SolverRow> RunSolverSweep(double min_speedup) {
       }
       verdicts.push_back(std::move(r));
     }
+    row.conflicts = RegistryCounter("xvu.sat.conflicts") - conflicts0;
+    row.propagations = RegistryCounter("xvu.sat.propagations") - props0;
     row.cdcl_s = MedianSeconds(
         [&] {
           for (const Cnf& cnf : instances) SolveCdcl(cnf);

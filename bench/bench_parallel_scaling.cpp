@@ -63,7 +63,8 @@ std::vector<int64_t> UniformKLessParents(const Database& db) {
 }
 
 struct BatchOutcome {
-  double seconds = 0;
+  double seconds = 0;       ///< profile.median_seconds, kept for ratios
+  LatencyProfile profile;
   UpdateStats stats;
   std::set<std::pair<std::string, std::string>> edges;
   size_t total_rows = 0;
@@ -91,7 +92,7 @@ Result<BatchOutcome> MeasureBatch(size_t n, uint64_t seed,
   }
   size_t next = 0;
   Status failure;
-  out.seconds = MedianSeconds(
+  out.profile = ProfileSeconds(
       [&] {
         UpdateSystem* sys = systems[next];
         Status st = sys->ApplyBatch(batches[next]);
@@ -105,6 +106,7 @@ Result<BatchOutcome> MeasureBatch(size_t n, uint64_t seed,
         }
       },
       repeats, /*warmup=*/1);
+  out.seconds = out.profile.median_seconds;
   XVU_RETURN_NOT_OK(failure);
   return out;
 }
@@ -145,6 +147,7 @@ int Run() {
 
   const size_t worker_counts[] = {1, 2, 4, 8};
   std::vector<double> sweep_seconds;
+  std::vector<LatencyProfile> sweep_profiles;
   BatchOutcome reference;
   bool identical = true;
   for (size_t w : worker_counts) {
@@ -173,6 +176,7 @@ int Run() {
                       reference.stats.symbolic_candidates;
     }
     sweep_seconds.push_back(r->seconds);
+    sweep_profiles.push_back(r->profile);
     std::printf("  workers=%zu: %8.2f ms  (speedup %.2fx, %zu distinct "
                 "paths, %zu eval tasks, %zu symbolic tasks)\n",
                 w, r->seconds * 1e3, reference.seconds / r->seconds,
@@ -289,8 +293,9 @@ int Run() {
                     "\"cores\": %zu, \"seconds\": [",
                  n, num_ops, cores);
     for (size_t i = 0; i < sweep_seconds.size(); ++i) {
-      std::fprintf(f, "%s{\"workers\": %zu, \"s\": %.6f}", i ? ", " : "",
-                   worker_counts[i], sweep_seconds[i]);
+      std::fprintf(f, "%s{\"workers\": %zu, \"s\": %.6f, %s}", i ? ", " : "",
+                   worker_counts[i], sweep_seconds[i],
+                   sweep_profiles[i].JsonFields().c_str());
     }
     std::fprintf(f, "]},\n  \"translation_scaling\": {\"C\": %zu, "
                     "\"points\": [",

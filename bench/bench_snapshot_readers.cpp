@@ -67,6 +67,13 @@ struct SweepPoint {
   size_t writer_commits = 0;
   double seconds = 0;
   double reads_per_sec = 0;
+  // Per-read snapshot-eval latency tails (µs), from an obs::Histogram
+  // shared by all reader threads — the same sharded recorder the runtime
+  // metrics use, here exercised under real multi-reader contention.
+  double read_p50_us = 0;
+  double read_p95_us = 0;
+  double read_p99_us = 0;
+  double read_max_us = 0;
 };
 
 SweepPoint RunPoint(size_t n, size_t num_readers, int window_ms,
@@ -84,6 +91,7 @@ SweepPoint RunPoint(size_t n, size_t num_readers, int window_ms,
   std::atomic<size_t> total_reads{0};
   std::atomic<size_t> read_errors{0};
   std::atomic<size_t> epoch_regressions{0};
+  obs::Histogram read_ns;  // sharded: all readers record concurrently
 
   std::vector<std::thread> readers;
   readers.reserve(num_readers);
@@ -92,12 +100,15 @@ SweepPoint RunPoint(size_t n, size_t num_readers, int window_ms,
       uint64_t last_epoch = 0;
       size_t it = r;
       while (!done.load(std::memory_order_acquire)) {
+        auto t0 = Clock::now();
         Snapshot snap = sys->AcquireSnapshot();
         if (snap.epoch() < last_epoch) {
           epoch_regressions.fetch_add(1, std::memory_order_relaxed);
         }
         last_epoch = snap.epoch();
         auto res = snap.Eval(pool[it++ % pool.size()]);
+        read_ns.Record(static_cast<uint64_t>(
+            std::chrono::duration<double>(Clock::now() - t0).count() * 1e9));
         if (!res.ok()) read_errors.fetch_add(1, std::memory_order_relaxed);
         total_reads.fetch_add(1, std::memory_order_relaxed);
       }
@@ -144,6 +155,11 @@ SweepPoint RunPoint(size_t n, size_t num_readers, int window_ms,
   pt.seconds = seconds;
   pt.reads_per_sec = seconds > 0 ? static_cast<double>(pt.reads) / seconds
                                  : 0;
+  const obs::HistogramSnapshot lat = read_ns.Snapshot();
+  pt.read_p50_us = static_cast<double>(lat.P50()) * 1e-3;
+  pt.read_p95_us = static_cast<double>(lat.P95()) * 1e-3;
+  pt.read_p99_us = static_cast<double>(lat.P99()) * 1e-3;
+  pt.read_max_us = static_cast<double>(lat.max) * 1e-3;
   return pt;
 }
 
@@ -170,8 +186,11 @@ int Run() {
   for (size_t readers : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
     sweep.push_back(RunPoint(n, readers, window_ms, *stmts));
     const SweepPoint& pt = sweep.back();
-    std::printf("  readers=%zu reads=%zu (%.0f/s) writer_commits=%zu\n",
-                pt.readers, pt.reads, pt.reads_per_sec, pt.writer_commits);
+    std::printf("  readers=%zu reads=%zu (%.0f/s) writer_commits=%zu "
+                "p50=%.1fus p95=%.1fus p99=%.1fus max=%.1fus\n",
+                pt.readers, pt.reads, pt.reads_per_sec, pt.writer_commits,
+                pt.read_p50_us, pt.read_p95_us, pt.read_p99_us,
+                pt.read_max_us);
   }
 
   const char* json_name = std::getenv("XVU_BENCH_JSON");
@@ -185,9 +204,13 @@ int Run() {
     for (size_t i = 0; i < sweep.size(); ++i) {
       std::fprintf(f,
                    "%s{\"readers\": %zu, \"reads\": %zu, "
-                   "\"reads_per_sec\": %.1f, \"writer_commits\": %zu}",
+                   "\"reads_per_sec\": %.1f, \"writer_commits\": %zu, "
+                   "\"read_p50_us\": %.1f, \"read_p95_us\": %.1f, "
+                   "\"read_p99_us\": %.1f, \"read_max_us\": %.1f}",
                    i ? ", " : "", sweep[i].readers, sweep[i].reads,
-                   sweep[i].reads_per_sec, sweep[i].writer_commits);
+                   sweep[i].reads_per_sec, sweep[i].writer_commits,
+                   sweep[i].read_p50_us, sweep[i].read_p95_us,
+                   sweep[i].read_p99_us, sweep[i].read_max_us);
     }
     std::fprintf(f, "]\n}\n");
     std::fclose(f);

@@ -11,11 +11,39 @@
 #include <vector>
 
 #include "src/core/system.h"
+#include "src/obs/metrics.h"
 #include "src/workload/synthetic.h"
 #include "src/workload/workloads.h"
 
 namespace xvu {
 namespace bench {
+
+/// Latency distribution of one benchmarked operation: the exact median
+/// from the sorted run vector (the historical BENCH_*.json headline
+/// number, unchanged) plus tail percentiles resolved through the same
+/// log-bucketed obs::Histogram that serves the runtime metrics — so the
+/// benches and a production registry dump quantize identically (≤12.5%
+/// relative bucket error, see src/obs/metrics.h).
+struct LatencyProfile {
+  double median_seconds = 0;
+  double p50_seconds = 0;
+  double p95_seconds = 0;
+  double p99_seconds = 0;
+  double max_seconds = 0;
+  int samples = 0;
+
+  /// The schema-additive JSON fragment the benches splice next to the
+  /// existing "seconds" field: `"p50": ..., "p95": ..., "p99": ...,
+  /// "max": ...` (no braces, no trailing comma).
+  std::string JsonFields() const {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "\"p50\": %.6f, \"p95\": %.6f, \"p99\": %.6f, "
+                  "\"max\": %.6f",
+                  p50_seconds, p95_seconds, p99_seconds, max_seconds);
+    return std::string(buf);
+  }
+};
 
 /// Runs `fn` `warmup` times unmeasured (cold caches, lazy allocations),
 /// then `k` measured times, and returns the median wall-clock seconds.
@@ -35,6 +63,47 @@ double MedianSeconds(Fn&& fn, int k = 5, int warmup = 1) {
   }
   std::sort(runs.begin(), runs.end());
   return runs[runs.size() / 2];
+}
+
+/// MedianSeconds plus tails: same warmup/measure loop, but every run is
+/// also recorded (in nanoseconds) into a private obs::Histogram whose
+/// snapshot yields p50/p95/p99. With small `k` the percentiles mostly
+/// track max — they become informative at the repeat counts the
+/// XVU_BENCH_*_REPEATS env knobs enable.
+template <typename Fn>
+LatencyProfile ProfileSeconds(Fn&& fn, int k = 5, int warmup = 1) {
+  using Clock = std::chrono::steady_clock;
+  if (k < 1) k = 1;
+  for (int i = 0; i < warmup; ++i) fn();
+  obs::Histogram hist;
+  std::vector<double> runs;
+  runs.reserve(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    auto t0 = Clock::now();
+    fn();
+    const double s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    runs.push_back(s);
+    hist.Record(static_cast<uint64_t>(s * 1e9));
+  }
+  std::sort(runs.begin(), runs.end());
+  const obs::HistogramSnapshot snap = hist.Snapshot();
+  LatencyProfile p;
+  p.median_seconds = runs[runs.size() / 2];
+  p.p50_seconds = static_cast<double>(snap.P50()) * 1e-9;
+  p.p95_seconds = static_cast<double>(snap.P95()) * 1e-9;
+  p.p99_seconds = static_cast<double>(snap.P99()) * 1e-9;
+  p.max_seconds = runs.back();
+  p.samples = k;
+  return p;
+}
+
+/// Current merged value of a registry counter. Benches bracket a
+/// measured region with two reads and report the delta — the counters
+/// (xvu.sat.*, xvu.batch.*, ...) are the single source of truth the
+/// runtime also exports, so bench output and a registry dump agree.
+inline uint64_t RegistryCounter(const char* name) {
+  return obs::MetricsRegistry::Instance().GetCounter(name)->Value();
 }
 
 /// Database sizes |C| swept by the benchmarks. The paper uses 1K..1M; the

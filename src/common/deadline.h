@@ -6,6 +6,8 @@
 #include <string>
 
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace xvu {
 
@@ -56,6 +58,9 @@ class Deadline {
 /// checkpoint where the budget ran out, OK otherwise.
 inline Status CheckDeadline(const Deadline& d, const char* where) {
   if (d.expired()) {
+    // `where` is a literal at every call site — safe in the trace ring.
+    obs::TraceInstant("deadline.expired", nullptr, 0, "where", where);
+    XVU_OBS_COUNT("xvu.deadline.expirations", 1);
     return Status::DeadlineExceeded(std::string("deadline expired at ") +
                                     where);
   }

@@ -5,6 +5,9 @@
 #include <random>
 #include <unordered_map>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace xvu {
 
 std::atomic<int> FailPoints::armed_count_{0};
@@ -98,6 +101,15 @@ Status FailPoints::Check(const char* site) {
   if (it == im.sites.end()) return Status::OK();
   SiteState& st = it->second;
   ++st.hits;
+  // Per-site registry counters (this is already the armed slow path; the
+  // dynamic-name lookup costs nothing the fault run would notice). Lets
+  // fault-injection runs assert which sites were actually crossed instead
+  // of relying on rollback side-effects alone.
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Instance()
+        .GetCounter(std::string("xvu.failpoint.hit.") + site)
+        ->Add(1);
+  }
   if (!st.armed) return Status::OK();
   bool fire = false;
   switch (st.trigger.kind) {
@@ -118,6 +130,14 @@ Status FailPoints::Check(const char* site) {
   if (!fire) return Status::OK();
   ++st.fires;
   if (st.trigger.one_shot) st.armed = false;
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Instance()
+        .GetCounter(std::string("xvu.failpoint.fired.") + site)
+        ->Add(1);
+  }
+  // Site constants have static storage, so the pointer is safe to hand
+  // to the trace ring directly.
+  obs::TraceInstant("failpoint.fired", nullptr, 0, "site", site);
   return Status(st.trigger.code,
                 std::string("injected fault at ") + site);
 }

@@ -3,6 +3,8 @@
 #include <system_error>
 
 #include "src/common/failpoint.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace xvu {
 
@@ -37,10 +39,16 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Drain(const std::function<void(size_t)>& fn, size_t n,
                        std::atomic<size_t>* next) {
+  // One span per thread participating in the job (the caller included),
+  // so a trace shows which lanes actually ran tasks and for how long.
+  obs::TraceSpan span("pool.drain");
+  size_t ran = 0;
   for (size_t i = next->fetch_add(1, std::memory_order_relaxed); i < n;
        i = next->fetch_add(1, std::memory_order_relaxed)) {
     fn(i);
+    ++ran;
   }
+  span.Arg("tasks", ran);
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -57,6 +65,8 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     ++generation_;
     active_ = threads_.size();
   }
+  XVU_OBS_COUNT("xvu.pool.jobs", 1);
+  XVU_OBS_GAUGE_SET("xvu.pool.queue_depth", static_cast<int64_t>(n));
   work_cv_.notify_all();
   Drain(fn, n, &next_);
   std::unique_lock<std::mutex> lock(mu_);
@@ -64,6 +74,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   // Every worker is done with `fn`; drop the borrowed pointer before the
   // caller's reference goes out of scope.
   job_ = nullptr;
+  XVU_OBS_GAUGE_SET("xvu.pool.queue_depth", 0);
 }
 
 void ThreadPool::WorkerLoop() {

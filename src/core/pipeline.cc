@@ -317,6 +317,9 @@ std::string OpLabel(size_t index, const XmlUpdate& op) {
 }  // namespace
 
 Status UpdateSystem::ApplyBatch(const UpdateBatch& batch) {
+  obs::TraceSpan span("op.batch");
+  span.Arg("ops", batch.size());
+  XVU_OBS_LATENCY(lat, "xvu.op.batch.ns");
   std::lock_guard<std::mutex> lock(commit_mu_);
   stats_ = UpdateStats{};
   stats_.batch_ops = batch.size();
@@ -333,9 +336,18 @@ Status UpdateSystem::ApplyBatch(const UpdateBatch& batch) {
   // so resubmitting a rejected batch hits them.
   eval_cache_.BeginScope();
   Status st = ApplyBatchImpl(batch, &ctx);
+  if (obs::MetricsEnabled()) {
+    XVU_OBS_COUNT("xvu.batch.ops", stats_.batch_ops);
+    XVU_OBS_COUNT("xvu.batch.xpath_cache_hits", stats_.xpath_cache_hits);
+    XVU_OBS_COUNT("xvu.batch.xpath_evaluations", stats_.xpath_evaluations);
+    XVU_OBS_COUNT("xvu.batch.delta_patches", stats_.delta_patches);
+    XVU_OBS_COUNT("xvu.batch.fallback_evals", stats_.fallback_evals);
+    XVU_OBS_COUNT("xvu.batch.dedup_ops", stats_.dedup_ops);
+  }
   if (st.ok()) {
     eval_cache_.CommitScope();
     PublishEpoch();
+    RecordOpMetrics("batch", st);
     return st;
   }
   Status rb = RollbackWrite(ctx);
@@ -343,12 +355,27 @@ Status UpdateSystem::ApplyBatch(const UpdateBatch& batch) {
   // Clear()ed, which discards the scope; RollbackScope is then a no-op.
   eval_cache_.RollbackScope(ctx.snapshot_version);
   PublishEpoch();
+  RecordOpMetrics("batch", st);
   if (!rb.ok()) return rb;
   return st;
 }
 
 Status UpdateSystem::ApplyBatchImpl(const UpdateBatch& batch, WriteUndo* ctx) {
   const std::vector<XmlUpdate>& ops = batch.ops();
+
+  // Phase boundaries become complete trace events stamped as each phase
+  // ends; an early rejection simply leaves the later phases without
+  // events (the enclosing op.batch span still shows the total).
+  const bool tracing = obs::TracingEnabled();
+  uint64_t phase_start = tracing ? obs::TraceNowNs() : 0;
+  auto end_phase = [&](const char* name, const char* arg_name,
+                       uint64_t arg_value) {
+    if (!tracing) return;
+    const uint64_t now = obs::TraceNowNs();
+    obs::TraceComplete(name, phase_start, now - phase_start, arg_name,
+                       arg_value);
+    phase_start = now;
+  };
 
   // ---- Phase 0: schema-level validation of every op, before any work.
   for (size_t i = 0; i < ops.size(); ++i) {
@@ -365,6 +392,7 @@ Status UpdateSystem::ApplyBatchImpl(const UpdateBatch& batch, WriteUndo* ctx) {
       XVU_RETURN_NOT_OK(ValidateDelete(atg_.dtd(), op.path));
     }
   }
+  end_phase("batch.phase.validate", "ops", ops.size());
 
   // ---- Phase 1: shared XPath evaluation. All ops see the same snapshot
   // (nothing is mutated until phase 4), so each distinct normal-form path
@@ -425,6 +453,10 @@ Status UpdateSystem::ApplyBatchImpl(const UpdateBatch& batch, WriteUndo* ctx) {
   std::vector<CachedEval> fresh(miss_idx.size());
   std::vector<Status> fresh_status(miss_idx.size());
   ParallelFor(pool(), miss_idx.size(), [&](size_t k) {
+    // One span per distinct-path evaluation, on whichever worker ran it —
+    // the per-lane fan-out Fig.10's breakdown can't show.
+    obs::TraceSpan task("batch.eval.path");
+    task.Arg("task", k);
     Result<CachedEval> r =
         evaluator.EvaluateTraced(*distinct[miss_idx[k]].path);
     if (r.ok()) {
@@ -488,6 +520,7 @@ Status UpdateSystem::ApplyBatchImpl(const UpdateBatch& batch, WriteUndo* ctx) {
   }
   auto t1 = Clock::now();
   stats_.xpath_seconds = Seconds(t0, t1);
+  end_phase("batch.phase.eval", "fresh_evals", miss_idx.size());
   XVU_RETURN_NOT_OK(CheckDeadline(ctx->deadline, "batch: XPath evaluated"));
   XVU_FAIL_POINT(failpoints::kBatchAfterEval);
 
@@ -556,6 +589,7 @@ Status UpdateSystem::ApplyBatchImpl(const UpdateBatch& batch, WriteUndo* ctx) {
     }
   }
 
+  end_phase("batch.phase.conflicts", "del_edges", del_edges.size());
   XVU_FAIL_POINT(failpoints::kBatchAfterConflicts);
 
   // ---- Phase 3: one consolidated ∆V → ∆R translation.
@@ -589,6 +623,8 @@ Status UpdateSystem::ApplyBatchImpl(const UpdateBatch& batch, WriteUndo* ctx) {
   // snapshot; fan them out, reporting the first failure in op order.
   std::vector<Status> plan_status(plans.size());
   ParallelFor(pool(), plans.size(), [&](size_t k) {
+    obs::TraceSpan task("batch.connect_rows");
+    task.Arg("task", k);
     const XmlUpdate& op = ops[plans[k].op_index];
     Result<std::vector<ViewRowOp>> r =
         XInsertConnectRows(store_, db_, dag_,
@@ -630,6 +666,7 @@ Status UpdateSystem::ApplyBatchImpl(const UpdateBatch& batch, WriteUndo* ctx) {
   }
   stats_.delta_v = del_dv.size() + ins_dv.size();
   stats_.delta_r = dr.ops.size();
+  end_phase("batch.phase.translate", "delta_r", dr.ops.size());
   XVU_RETURN_NOT_OK(CheckRelationalConflicts(dr, db_));
   XVU_RETURN_NOT_OK(CheckDeadline(ctx->deadline, "batch: translated"));
   XVU_FAIL_POINT(failpoints::kBatchAfterTranslate);
@@ -703,6 +740,7 @@ Status UpdateSystem::ApplyBatchImpl(const UpdateBatch& batch, WriteUndo* ctx) {
   }
   auto t2 = Clock::now();
   stats_.translate_seconds = Seconds(t1, t2);
+  end_phase("batch.phase.apply", "delta_v", stats_.delta_v);
   XVU_RETURN_NOT_OK(CheckDeadline(ctx->deadline, "batch: applied"));
 
   // ---- Phase 5: one deferred maintenance pass for the whole batch. The
@@ -725,6 +763,8 @@ Status UpdateSystem::ApplyBatchImpl(const UpdateBatch& batch, WriteUndo* ctx) {
   stats_.journal_entries_replayed = report.journal_entries_replayed;
   XVU_RETURN_NOT_OK(ReclaimCollected(report.delta, ctx));
   stats_.maintain_seconds = Seconds(t2, Clock::now());
+  end_phase("batch.phase.maintain", "journal_entries",
+            report.journal_entries_replayed);
   return Status::OK();
 }
 

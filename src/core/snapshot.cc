@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/xpath/normal_form.h"
 #include "src/xpath/parser.h"
 
@@ -10,6 +12,7 @@ namespace xvu {
 void EpochRegistry::Pin(uint64_t epoch) {
   std::lock_guard<std::mutex> lock(mu_);
   ++pins_[epoch];
+  XVU_OBS_GAUGE_ADD("xvu.snapshot.pinned", 1);
 }
 
 void EpochRegistry::Unpin(uint64_t epoch) {
@@ -17,6 +20,7 @@ void EpochRegistry::Unpin(uint64_t epoch) {
   auto it = pins_.find(epoch);
   if (it == pins_.end()) return;
   if (--it->second == 0) pins_.erase(it);
+  XVU_OBS_GAUGE_ADD("xvu.snapshot.pinned", -1);
 }
 
 uint64_t EpochRegistry::MinPinnedOr(uint64_t fallback) const {
@@ -65,11 +69,18 @@ Snapshot& Snapshot::operator=(Snapshot&& other) noexcept {
 }
 
 Result<EvalResult> Snapshot::Eval(const Path& p) const {
+  obs::TraceSpan span("snapshot.eval");
+  span.Arg("epoch", state_->epoch);
+  XVU_OBS_LATENCY(lat, "xvu.snapshot.eval.ns");
   const std::string key = NormalFormKey(p);
   EvalResult out;
   // Copying lookup: a racing Store on the same key (two readers missing
   // together) must not mutate an entry mid-read.
-  if (state_->cache.LookupCopy(key, state_->epoch, &out)) return out;
+  if (state_->cache.LookupCopy(key, state_->epoch, &out)) {
+    XVU_OBS_COUNT("xvu.snapshot.eval.memo_hits", 1);
+    return out;
+  }
+  XVU_OBS_COUNT("xvu.snapshot.eval.memo_misses", 1);
   XPathEvaluator ev(&state_->dag, &state_->topo, &state_->reach);
   XVU_ASSIGN_OR_RETURN(CachedEval fresh, ev.EvaluateTraced(p));
   out = fresh.result;

@@ -37,6 +37,7 @@ Result<std::unique_ptr<UpdateSystem>> UpdateSystem::Create(Atg atg,
 }
 
 Status UpdateSystem::Initialize() {
+  obs::Configure(options_.obs);
   // Reset any previous state: Initialize doubles as a full resync. The
   // eval cache must go too — a fresh DagView restarts its version counter,
   // so stale entries could otherwise collide with new versions. The same
@@ -68,8 +69,15 @@ void UpdateSystem::PublishEpoch() {
 }
 
 Snapshot UpdateSystem::AcquireSnapshot() {
+  obs::TraceSpan span("snapshot.acquire");
+  XVU_OBS_LATENCY(lat, "xvu.snapshot.acquire.ns");
   std::lock_guard<std::mutex> lock(commit_mu_);
+  XVU_OBS_COUNT("xvu.snapshot.acquired", 1);
   if (published_ == nullptr || published_->epoch != dag_.version()) {
+    // A write moved the epoch since the last acquisition: rebuild the
+    // shared immutable state (the amortized copy-on-write transition).
+    obs::TraceSpan rebuild("snapshot.state_rebuild");
+    XVU_OBS_COUNT("xvu.snapshot.state_rebuilds", 1);
     auto state = std::make_shared<SnapshotState>();
     state->epoch = dag_.version();
     state->dag = dag_;
@@ -80,10 +88,13 @@ Snapshot UpdateSystem::AcquireSnapshot() {
       // journal so hot paths stay warm across epochs.
       state->cache.AdoptPatched(published_->cache, state->dag, state->topo,
                                 state->reach);
+      XVU_OBS_COUNT("xvu.snapshot.carry_forwards", 1);
     }
     published_ = std::move(state);
     PublishEpoch();  // retain floor may now advance past retired epochs
+    rebuild.Arg("epoch", published_->epoch);
   }
+  span.Arg("epoch", published_->epoch);
   return Snapshot(published_, epochs_);
 }
 
@@ -362,6 +373,8 @@ std::string UpdateSystem::DebugFingerprint(bool strict) const {
 
 Status UpdateSystem::ApplyInsert(const std::string& elem_type,
                                  const Tuple& attr, const Path& p) {
+  obs::TraceSpan span("op.insert");
+  XVU_OBS_LATENCY(lat, "xvu.op.insert.ns");
   std::lock_guard<std::mutex> lock(commit_mu_);
   stats_ = UpdateStats{};
   stats_.batch_ops = 1;
@@ -376,6 +389,7 @@ Status UpdateSystem::ApplyInsert(const std::string& elem_type,
   Status st = ApplyInsertImpl(elem_type, attr, p, &ctx);
   Status rb = st.ok() ? Status::OK() : RollbackWrite(ctx);
   PublishEpoch();
+  RecordOpMetrics("insert", st);
   XVU_RETURN_NOT_OK(rb);
   return st;
 }
@@ -500,6 +514,8 @@ Status UpdateSystem::ApplyInsertImpl(const std::string& elem_type,
 }
 
 Status UpdateSystem::ApplyDelete(const Path& p) {
+  obs::TraceSpan span("op.delete");
+  XVU_OBS_LATENCY(lat, "xvu.op.delete.ns");
   std::lock_guard<std::mutex> lock(commit_mu_);
   stats_ = UpdateStats{};
   stats_.batch_ops = 1;
@@ -514,6 +530,7 @@ Status UpdateSystem::ApplyDelete(const Path& p) {
   Status st = ApplyDeleteImpl(p, &ctx);
   Status rb = st.ok() ? Status::OK() : RollbackWrite(ctx);
   PublishEpoch();
+  RecordOpMetrics("delete", st);
   XVU_RETURN_NOT_OK(rb);
   return st;
 }
@@ -579,6 +596,23 @@ Status UpdateSystem::ApplyDeleteImpl(const Path& p, WriteUndo* ctx) {
   stats_.maintenance_strategy = MaintenanceStrategy::kIncrementalMerge;
   stats_.maintain_seconds = Seconds(t2, Clock::now());
   return Status::OK();
+}
+
+void UpdateSystem::RecordOpMetrics(const char* kind, const Status& st) {
+  if (!obs::MetricsEnabled()) return;
+  // `kind` varies per caller, so the names are dynamic — registry lookups
+  // instead of the (per-site-cached) XVU_OBS_* macros. Once per op.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+  const std::string prefix = std::string("xvu.op.") + kind;
+  reg.GetCounter(prefix + (st.ok() ? ".committed" : ".rejected"))->Add(1);
+  reg.GetHistogram("xvu.phase.xpath.ns", "ns")
+      ->Record(static_cast<uint64_t>(stats_.xpath_seconds * 1e9));
+  reg.GetHistogram("xvu.phase.translate.ns", "ns")
+      ->Record(static_cast<uint64_t>(stats_.translate_seconds * 1e9));
+  reg.GetHistogram("xvu.phase.maintain.ns", "ns")
+      ->Record(static_cast<uint64_t>(stats_.maintain_seconds * 1e9));
+  reg.GetCounter("xvu.delta_v.rows")->Add(stats_.delta_v);
+  reg.GetCounter("xvu.delta_r.ops")->Add(stats_.delta_r);
 }
 
 Status UpdateSystem::ApplyStatement(const std::string& stmt) {

@@ -20,6 +20,7 @@
 #include "src/dag/maintenance_engine.h"
 #include "src/dag/reachability.h"
 #include "src/dag/topo_order.h"
+#include "src/obs/obs.h"
 #include "src/viewupdate/delete.h"
 #include "src/viewupdate/insert.h"
 
@@ -33,10 +34,11 @@ enum class SideEffectPolicy { kAbort, kProceed };
 
 /// Per-update timing and size statistics, matching the breakdown reported
 /// in Fig.11: (a) XPath evaluation, (b) translation ∆X→∆V→∆R plus update
-/// execution, (c) auxiliary-structure maintenance. Maintenance currently
-/// runs synchronously inside the pipeline; moving it to a background
-/// worker behind a version cursor is an open ROADMAP item ("Async
-/// maintenance service", see also docs/architecture.md §Maintenance).
+/// execution, (c) auxiliary-structure maintenance. This struct is the
+/// *last-op* view and dies with the next call; the cumulative view across
+/// a workload — counters, and latency distributions with p50/p95/p99 —
+/// lives in the process-wide obs::MetricsRegistry (src/obs/metrics.h, see
+/// docs/observability.md for the metric catalogue).
 struct UpdateStats {
   double xpath_seconds = 0;
   double translate_seconds = 0;
@@ -145,6 +147,10 @@ class UpdateSystem {
     /// threaded into the SAT portfolio and the branch-and-bound cover,
     /// whose anytime search degrades to its incumbent instead.
     double op_timeout_seconds = 0;
+    /// Observability switches, applied process-wide at Create/Initialize
+    /// (the metrics registry and trace rings are process singletons, like
+    /// the fail-point registry). Metrics on by default; tracing opt-in.
+    obs::ObsConfig obs;
   };
 
   /// Publishes σ(db) and builds all auxiliary structures.
@@ -317,6 +323,11 @@ class UpdateSystem {
   /// ApplyRelationalUpdate's body; the public wrapper adds the writer
   /// lock and epoch publication.
   Status ApplyRelationalUpdateImpl(const RelationalUpdate& dr);
+
+  /// Folds the finished op's outcome and Fig.11 phase breakdown from
+  /// `stats_` into the cumulative registry view (`xvu.op.<kind>.*`).
+  /// `kind` is "insert", "delete", or "batch".
+  void RecordOpMetrics(const char* kind, const Status& st);
 
   /// Propagates one already-applied base insertion / deletion into the
   /// view (core/propagate.cc).

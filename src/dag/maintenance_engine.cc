@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "src/common/failpoint.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace xvu {
 
@@ -273,6 +275,27 @@ Status MaintenanceEngine::IncrementalMerge(
 Status MaintenanceEngine::MaintainBatch(DagView* dag,
                                         const BatchOptions& options,
                                         BatchReport* report) {
+  obs::TraceSpan span("maintain.batch");
+  XVU_OBS_LATENCY(lat, "xvu.maintain.batch.ns");
+  Status st = MaintainBatchImpl(dag, options, report);
+  if (st.ok()) {
+    span.StrArg("strategy", MaintenanceStrategyName(report->used));
+    span.Arg("journal_entries", report->journal_entries_replayed);
+    if (obs::MetricsEnabled()) {
+      obs::MetricsRegistry::Instance()
+          .GetCounter(std::string("xvu.maintain.strategy.") +
+                      MaintenanceStrategyName(report->used))
+          ->Add(1);
+      XVU_OBS_RECORD("xvu.maintain.journal_window", "entries",
+                     report->journal_entries_replayed);
+    }
+  }
+  return st;
+}
+
+Status MaintenanceEngine::MaintainBatchImpl(DagView* dag,
+                                            const BatchOptions& options,
+                                            BatchReport* report) {
   const uint64_t since = maintained_version_;
   const bool covered = dag->JournalCovers(since);
   const size_t pending = covered ? dag->JournalCountSince(since) : 0;

@@ -93,6 +93,11 @@ class MaintenanceEngine {
                        BatchReport* report);
 
  private:
+  /// MaintainBatch's body; the public wrapper adds the trace span and the
+  /// per-strategy registry counters.
+  Status MaintainBatchImpl(DagView* dag, const BatchOptions& options,
+                           BatchReport* report);
+
   /// The generalized multi-op ∆(M,L) merge. Consolidates the journal into
   /// its net structural effect, garbage-collects, recomputes ancestor sets
   /// over the affected region only (new-DAG desc-or-self of the changed

@@ -1,0 +1,34 @@
+#ifndef XVU_OBS_OBS_H_
+#define XVU_OBS_OBS_H_
+
+#include <cstdint>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace xvu {
+namespace obs {
+
+/// Per-UpdateSystem observability knobs, applied process-wide at
+/// Initialize (the registry and trace rings are process singletons, like
+/// the fail-point registry). Metrics default on — their recording cost
+/// is a few relaxed atomics per site. Tracing is opt-in: every span pays
+/// two clock reads plus a ring append while enabled.
+struct ObsConfig {
+  bool metrics = true;
+  bool tracing = false;
+  /// Per-thread trace ring capacity in events; wraparound keeps the most
+  /// recent. 2^15 events ≈ 2.3 MB per thread.
+  size_t trace_ring_events = 1u << 15;
+};
+
+inline void Configure(const ObsConfig& config) {
+  SetMetricsEnabled(config.metrics);
+  SetTraceRingCapacity(config.trace_ring_events);
+  SetTracingEnabled(config.tracing);
+}
+
+}  // namespace obs
+}  // namespace xvu
+
+#endif  // XVU_OBS_OBS_H_

@@ -9,6 +9,8 @@
 
 #include "src/common/crc32c.h"
 #include "src/common/failpoint.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define XVU_HAVE_MMAP 1
@@ -153,6 +155,7 @@ class Reader {
 
 // Reads a whole file, via mmap when available.
 Result<std::string> SlurpFile(const std::string& path) {
+  obs::TraceSpan span("storage.slurp");
 #if XVU_HAVE_MMAP
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd >= 0) {
@@ -164,6 +167,9 @@ Result<std::string> SlurpFile(const std::string& path) {
         std::string out(static_cast<const char*>(m), size);
         ::munmap(m, size);
         ::close(fd);
+        XVU_OBS_COUNT("xvu.storage.mmap_reads", 1);
+        XVU_OBS_COUNT("xvu.storage.read_bytes", size);
+        span.Arg("bytes", size);
         return out;
       }
     }
@@ -175,6 +181,9 @@ Result<std::string> SlurpFile(const std::string& path) {
   std::string out((std::istreambuf_iterator<char>(in)),
                   std::istreambuf_iterator<char>());
   if (in.bad()) return Status::Internal("read error on " + path);
+  XVU_OBS_COUNT("xvu.storage.stream_reads", 1);
+  XVU_OBS_COUNT("xvu.storage.read_bytes", out.size());
+  span.Arg("bytes", out.size());
   return out;
 }
 
@@ -193,6 +202,10 @@ Status WriteFile(const std::string& path, const std::string& data) {
 /// the two steps leaves either the old complete file or no file — never
 /// a torn prefix a reader could mistake for the relation.
 Status WriteFileAtomic(const std::string& path, const std::string& data) {
+  obs::TraceSpan span("storage.write_atomic");
+  span.Arg("bytes", data.size());
+  XVU_OBS_COUNT("xvu.storage.writes", 1);
+  XVU_OBS_COUNT("xvu.storage.write_bytes", data.size());
   const std::string tmp = path + ".tmp";
   XVU_RETURN_NOT_OK(WriteFile(tmp, data));
   Status rename_fault = [&]() -> Status {
@@ -212,6 +225,8 @@ Status WriteFileAtomic(const std::string& path, const std::string& data) {
 }  // namespace
 
 Status StoreRelation(const Table& t, const std::string& path) {
+  obs::TraceSpan span("storage.store_relation");
+  XVU_OBS_LATENCY(lat, "xvu.storage.store_relation.ns");
   const Schema& schema = t.schema();
   const size_t arity = schema.arity();
   std::vector<Tuple> rows = t.Rows();
@@ -262,6 +277,8 @@ Status StoreRelation(const Table& t, const std::string& path) {
 }
 
 Result<Table> LoadRelation(const std::string& path) {
+  obs::TraceSpan span("storage.load_relation");
+  XVU_OBS_LATENCY(lat, "xvu.storage.load_relation.ns");
   XVU_FAIL_POINT(failpoints::kStorageLoad);
   XVU_ASSIGN_OR_RETURN(std::string data, SlurpFile(path));
   Reader r(reinterpret_cast<const uint8_t*>(data.data()), data.size());
@@ -397,6 +414,7 @@ Result<Table> LoadRelation(const std::string& path) {
 }
 
 Status StoreDatabase(const Database& db, const std::string& dir) {
+  obs::TraceSpan span("storage.store_database");
 #if XVU_HAVE_MMAP
   ::mkdir(dir.c_str(), 0755);  // EEXIST is fine; write errors surface below
 #else
@@ -415,6 +433,7 @@ Status StoreDatabase(const Database& db, const std::string& dir) {
 }
 
 Result<Database> LoadDatabase(const std::string& dir) {
+  obs::TraceSpan span("storage.load_database");
   XVU_ASSIGN_OR_RETURN(std::string manifest, SlurpFile(dir + "/MANIFEST"));
   Database db;
   size_t start = 0;

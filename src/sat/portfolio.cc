@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "src/common/failpoint.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace xvu {
 
@@ -43,7 +45,26 @@ bool Definitive(const SatResult& r) {
   return r.kind != SatResult::Kind::kUnknown;
 }
 
+/// One source of truth for the solver counters (ISSUE: benches print
+/// these from the registry instead of hand-plumbed UpdateStats copies).
+void AccumulateSatCounters(const SatStats& s) {
+  XVU_OBS_COUNT("xvu.sat.propagations", s.propagations);
+  XVU_OBS_COUNT("xvu.sat.conflicts", s.conflicts);
+  XVU_OBS_COUNT("xvu.sat.decisions", s.decisions);
+  XVU_OBS_COUNT("xvu.sat.learned_clauses", s.learned_clauses);
+  XVU_OBS_COUNT("xvu.sat.restarts", s.restarts);
+  XVU_OBS_COUNT("xvu.sat.flips", s.flips);
+}
+
 }  // namespace
+
+void RecordSatRunMetrics(const SatStats& totals, int winner_lane) {
+  if (!obs::MetricsEnabled()) return;
+  XVU_OBS_COUNT("xvu.sat.runs", 1);
+  AccumulateSatCounters(totals);
+  XVU_OBS_GAUGE_SET("xvu.sat.winner_lane", winner_lane);
+}
+
 
 SatResult SolvePortfolio(const Cnf& cnf, const PortfolioOptions& options_in,
                          PortfolioStats* stats) {
@@ -67,22 +88,37 @@ SatResult SolvePortfolio(const Cnf& cnf, const PortfolioOptions& options_in,
   // lane-less configurations, and as the degraded path when lane-thread
   // creation fails.
   auto solve_inline = [&]() {
+    SatStats totals;
     if (k > 0) {
       SatStats ws_stats;
-      SatResult ws = SolveWalkSat(cnf, LaneConfig(options, 0), &ws_stats);
+      SatResult ws;
+      {
+        obs::TraceSpan span("sat.lane.walksat");
+        span.Arg("lane", 0);
+        ws = SolveWalkSat(cnf, LaneConfig(options, 0), &ws_stats);
+      }
+      totals.Accumulate(ws_stats);
       if (stats != nullptr) stats->totals.Accumulate(ws_stats);
       if (ws.kind == SatResult::Kind::kSat ||
           ws.kind == SatResult::Kind::kUnsat) {
         if (stats != nullptr) stats->winner_lane = 0;
+        RecordSatRunMetrics(totals, 0);
         return ws;
       }
     }
     SatStats cdcl_stats;
-    SatResult cd = SolveCdcl(cnf, options.cdcl, &cdcl_stats);
+    SatResult cd;
+    {
+      obs::TraceSpan span("sat.lane.cdcl");
+      span.Arg("lane", static_cast<uint64_t>(cdcl_lane));
+      cd = SolveCdcl(cnf, options.cdcl, &cdcl_stats);
+    }
+    totals.Accumulate(cdcl_stats);
     if (stats != nullptr) {
       stats->totals.Accumulate(cdcl_stats);
       if (Definitive(cd)) stats->winner_lane = cdcl_lane;
     }
+    RecordSatRunMetrics(totals, Definitive(cd) ? cdcl_lane : -1);
     return cd;
   };
 
@@ -135,6 +171,12 @@ SatResult SolvePortfolio(const Cnf& cnf, const PortfolioOptions& options_in,
 
   auto run_lane = [&](int lane) {
     LaneOutcome& o = out[static_cast<size_t>(lane)];
+    // Per-lane span on the lane's own thread: a trace shows the race —
+    // lanes starting together, the winner's span ending first, losers
+    // ending at their next cancellation poll.
+    obs::TraceSpan span(lane == cdcl_lane ? "sat.lane.cdcl"
+                                          : "sat.lane.walksat");
+    span.Arg("lane", static_cast<uint64_t>(lane));
     if (lane == cdcl_lane) {
       CdclOptions c = options.cdcl;
       c.cancel = &cancel;
@@ -145,6 +187,10 @@ SatResult SolvePortfolio(const Cnf& cnf, const PortfolioOptions& options_in,
     }
     o.cancelled = o.res.kind == SatResult::Kind::kUnknown &&
                   cancel.load(std::memory_order_relaxed);
+    if (o.cancelled) {
+      obs::TraceInstant("sat.lane.cancelled", "lane",
+                        static_cast<uint64_t>(lane));
+    }
     on_finish(lane);
   };
 
@@ -173,11 +219,20 @@ SatResult SolvePortfolio(const Cnf& cnf, const PortfolioOptions& options_in,
     // now-joined threads and still accumulate below).
     cancel.store(true);
     for (std::thread& t : threads) t.join();
+    obs::TraceInstant("sat.portfolio.degraded_spawn");
     if (stats != nullptr) {
       stats->lanes = k + 1;
       stats->threaded = false;
       stats->degraded_spawn = true;
       for (const LaneOutcome& o : out) stats->totals.Accumulate(o.stats);
+    }
+    if (obs::MetricsEnabled()) {
+      XVU_OBS_COUNT("xvu.sat.degraded_spawns", 1);
+      // The partial lanes' solver work happened; fold it in (the inline
+      // re-solve below records its own run).
+      SatStats partial;
+      for (const LaneOutcome& o : out) partial.Accumulate(o.stats);
+      AccumulateSatCounters(partial);
     }
     return solve_inline();
   }
@@ -201,14 +256,23 @@ SatResult SolvePortfolio(const Cnf& cnf, const PortfolioOptions& options_in,
     }
   }
 
+  size_t cancelled = 0;
+  SatStats run_totals;
+  for (const LaneOutcome& o : out) {
+    run_totals.Accumulate(o.stats);
+    if (o.cancelled) ++cancelled;
+  }
   if (stats != nullptr) {
     stats->lanes = k + 1;
     stats->threaded = true;
     stats->winner_lane = winner;
-    for (const LaneOutcome& o : out) {
-      stats->totals.Accumulate(o.stats);
-      if (o.cancelled) ++stats->lanes_cancelled;
-    }
+    stats->totals.Accumulate(run_totals);
+    stats->lanes_cancelled += cancelled;
+  }
+  RecordSatRunMetrics(run_totals, winner);
+  XVU_OBS_COUNT("xvu.sat.lanes_cancelled", cancelled);
+  if (winner >= 0) {
+    obs::TraceInstant("sat.winner", "lane", static_cast<uint64_t>(winner));
   }
   if (winner < 0) {
     SatResult res;

@@ -74,6 +74,13 @@ struct PortfolioStats {
 SatResult SolvePortfolio(const Cnf& cnf, const PortfolioOptions& options = {},
                          PortfolioStats* stats = nullptr);
 
+/// Folds one solver run's counters into the metrics registry
+/// (xvu.sat.runs / propagations / flips / ... and the winner-lane gauge)
+/// — SolvePortfolio does this itself on every path; the legacy
+/// WalkSAT→CDCL chain in the insert translation calls it directly, so
+/// benches read every solver's work from one source of truth.
+void RecordSatRunMetrics(const SatStats& totals, int winner_lane);
+
 }  // namespace xvu
 
 #endif  // XVU_SAT_PORTFOLIO_H_

@@ -1096,10 +1096,12 @@ Result<InsertTranslation> TranslateGroupInsertion(
         copts.deadline = options.deadline;
         res = SolveCdcl(enc.cnf(), copts, &out.sat_stats);
       }
+      RecordSatRunMetrics(out.sat_stats, -1);
     } else {
       CdclOptions copts;
       copts.deadline = options.deadline;
       res = SolveCdcl(enc.cnf(), copts, &out.sat_stats);
+      RecordSatRunMetrics(out.sat_stats, -1);
     }
     out.sat_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -224,6 +224,14 @@ TEST(Snapshot, RejectedBatchLeavesPinnedSnapshotAndEpochIntact) {
     }
   });
 
+  // Wait for the reader's first completed read before mutating: on a
+  // single-core box the writer loop below can otherwise finish before
+  // the reader thread is ever scheduled, and the overlap this test
+  // exists to exercise never happens.
+  while (reads.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();
+  }
+
   // Double-delete of the same target is an intra-batch conflict: the
   // batch is rejected and every mutation rolled back (RollbackScope on
   // the live cache, RewindTo on the live DAG).
